@@ -1,0 +1,196 @@
+// M1-M5 — Supporting micro-benchmarks (google-benchmark): component costs
+// underlying the system results — flow-table lookup, Aho-Corasick scan, L7
+// classification, policy lookup, event store append/replay, packet codec.
+#include <benchmark/benchmark.h>
+
+#include "controller/policy.h"
+#include "net/network.h"
+#include "net/traffic.h"
+#include "monitor/event_store.h"
+#include "openflow/flow_table.h"
+#include "packet/packet.h"
+#include "services/ids/ids_engine.h"
+#include "services/l7/l7_classifier.h"
+
+namespace livesec {
+namespace {
+
+pkt::Packet make_packet(std::uint32_t flow, std::string_view payload) {
+  return pkt::PacketBuilder()
+      .eth(MacAddress::from_uint64(0xA0000 + (flow % 50)), MacAddress::from_uint64(0xB))
+      .ipv4(Ipv4Address((10u << 24) | (flow % 250 + 1)), Ipv4Address(10, 0, 0, 2),
+            pkt::IpProto::kTcp)
+      .tcp(static_cast<std::uint16_t>(10000 + flow % 20000), 80, pkt::TcpFlags::kPsh)
+      .payload(payload)
+      .build();
+}
+
+// M1: flow table lookup with a realistic mix of exact entries.
+void BM_FlowTableLookup(benchmark::State& state) {
+  of::FlowTable table;
+  const int entries = static_cast<int>(state.range(0));
+  std::vector<pkt::FlowKey> keys;
+  for (int i = 0; i < entries; ++i) {
+    const pkt::Packet p = make_packet(static_cast<std::uint32_t>(i), "x");
+    const pkt::FlowKey key = pkt::FlowKey::from_packet(p);
+    keys.push_back(key);
+    of::FlowEntry e;
+    e.match = of::Match::exact(1, key);
+    e.actions = of::output_to(2);
+    table.add(e, 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(1, keys[i % keys.size()], 100, 1));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+// M2: Aho-Corasick scan throughput over the default IDS rule set.
+void BM_AhoCorasickScan(benchmark::State& state) {
+  svc::ids::AhoCorasick ac;
+  for (const auto& rule : svc::ids::default_rules()) {
+    for (const auto& content : rule.contents) ac.add_pattern(content);
+  }
+  ac.build();
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>('a' + i % 26);
+  }
+  std::vector<svc::ids::AhoCorasick::Hit> hits;
+  for (auto _ : state) {
+    hits.clear();
+    benchmark::DoNotOptimize(ac.scan(payload, hits));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AhoCorasickScan)->Arg(64)->Arg(1400)->Arg(64 * 1024);
+
+// M2b: full IDS engine per-packet inspection cost.
+void BM_IdsEngineInspect(benchmark::State& state) {
+  svc::ids::IdsEngine engine;
+  std::uint32_t flow = 0;
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'q');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.inspect(make_packet(flow++ % 1000, payload)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IdsEngineInspect)->Arg(128)->Arg(1400);
+
+// M3: L7 classification of a fresh HTTP flow.
+void BM_L7ClassifyFreshFlow(benchmark::State& state) {
+  svc::l7::L7Classifier classifier;
+  std::uint32_t flow = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classifier.classify(make_packet(flow++, "GET /index.html HTTP/1.1\r\n\r\n")));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_L7ClassifyFreshFlow);
+
+// M4: policy table lookup with N policies, worst case (no match).
+void BM_PolicyLookup(benchmark::State& state) {
+  ctrl::PolicyTable table;
+  for (int i = 0; i < state.range(0); ++i) {
+    ctrl::Policy p;
+    p.tp_dst = static_cast<std::uint16_t>(10000 + i);
+    p.action = ctrl::PolicyAction::kRedirect;
+    table.add(p);
+  }
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(make_packet(1, "x"));
+  for (auto _ : state) benchmark::DoNotOptimize(table.lookup(key));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PolicyLookup)->Arg(8)->Arg(64)->Arg(512);
+
+// M5: event store append + windowed replay.
+void BM_EventStoreAppend(benchmark::State& state) {
+  mon::EventStore store(1 << 20);
+  SimTime t = 0;
+  for (auto _ : state) {
+    mon::NetworkEvent e;
+    e.time = ++t;
+    e.type = mon::EventType::kFlowStart;
+    e.subject = "02:00:00:00:00:01";
+    benchmark::DoNotOptimize(store.append(std::move(e)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventStoreAppend);
+
+void BM_EventStoreReplay(benchmark::State& state) {
+  mon::EventStore store;
+  for (SimTime t = 0; t < state.range(0); ++t) {
+    mon::NetworkEvent e;
+    e.time = t;
+    e.type = mon::EventType::kFlowStart;
+    store.append(std::move(e));
+  }
+  for (auto _ : state) {
+    std::size_t count = 0;
+    store.replay(state.range(0) / 4, state.range(0) / 2,
+                 [&count](const mon::NetworkEvent&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) / 4);
+}
+BENCHMARK(BM_EventStoreReplay)->Arg(10000);
+
+// M7: controller flow-setup rate — full deployments processed end to end:
+// ARP + packet-in + policy lookup + LB + FlowMod fan-out per new flow.
+void BM_ControllerFlowSetup(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Network network;
+    auto& backbone = network.add_legacy_switch("backbone");
+    auto& ovs1 = network.add_as_switch("ovs1", backbone);
+    auto& ovs2 = network.add_as_switch("ovs2", backbone);
+    auto& se_sw = network.add_as_switch("se", backbone);
+    network.add_service_element(svc::ServiceType::kIntrusionDetection, se_sw);
+    ctrl::Policy policy;
+    policy.nw_proto = static_cast<std::uint8_t>(pkt::IpProto::kUdp);
+    policy.action = ctrl::PolicyAction::kRedirect;
+    policy.service_chain = {svc::ServiceType::kIntrusionDetection};
+    network.controller().policies().add(policy);
+    auto& a = network.add_host("a", ovs1, 10e9);
+    auto& b = network.add_host("b", ovs2, 10e9);
+    network.start();
+    state.ResumeTiming();
+
+    constexpr int kFlows = 500;
+    for (int f = 0; f < kFlows; ++f) {
+      pkt::Packet p = pkt::PacketBuilder()
+                          .ipv4(a.ip(), b.ip(), pkt::IpProto::kUdp)
+                          .udp(static_cast<std::uint16_t>(10000 + f), 9000)
+                          .payload("first packet")
+                          .build();
+      a.send_ip(std::move(p));
+    }
+    network.run_for(2 * kSecond);
+    benchmark::DoNotOptimize(network.controller().stats().flows_installed);
+    state.SetItemsProcessed(state.items_processed() + kFlows);
+  }
+}
+// Fixed iteration count: each iteration builds a full deployment (~50 ms),
+// so auto-calibration would run for minutes.
+BENCHMARK(BM_ControllerFlowSetup)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+// M6: packet wire codec round trip.
+void BM_PacketSerializeParse(benchmark::State& state) {
+  const pkt::Packet p = make_packet(1, std::string(1400, 'x'));
+  for (auto _ : state) {
+    const auto bytes = p.serialize();
+    benchmark::DoNotOptimize(pkt::Packet::parse(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1400);
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+}  // namespace
+}  // namespace livesec
+
+BENCHMARK_MAIN();

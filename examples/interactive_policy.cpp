@@ -1,0 +1,87 @@
+// Interactive policy enforcement walkthrough (paper §IV.A, Figure 3).
+//
+// Narrates each step of the mechanism:
+//   1. a user flow to the "Internet" hits the policy table,
+//   2. the controller installs the 4-entry redirection through a security SE,
+//   3. the SE detects an attack and reports it over the daemon channel,
+//   4. the controller modifies the ingress entry to drop — the flow is
+//      blocked at the entrance and the inner network never sees it again.
+#include <cstdio>
+
+#include "net/network.h"
+#include "net/traffic.h"
+
+using namespace livesec;
+
+namespace {
+
+void dump_flow_table(const sw::OpenFlowSwitch& sw) {
+  std::printf("  flow table of %s:\n", sw.name().c_str());
+  for (const auto& entry : sw.flow_table().entries()) {
+    std::printf("    %s\n", entry.to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  net::Network network;
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& user_sw = network.add_as_switch("user-ovs", backbone);
+  auto& se_sw = network.add_as_switch("se-ovs", backbone);
+  auto& gw_sw = network.add_as_switch("gw-ovs", backbone);
+
+  auto& user = network.add_host("user", user_sw);
+  auto& gateway = network.add_host("internet-gw", gw_sw, 1e9);
+  auto& ids = network.add_service_element(svc::ServiceType::kIntrusionDetection, se_sw);
+
+  ctrl::Policy policy;
+  policy.name = "internet-via-ids";
+  policy.nw_proto = static_cast<std::uint8_t>(pkt::IpProto::kTcp);
+  policy.tp_dst = 80;
+  policy.action = ctrl::PolicyAction::kRedirect;
+  policy.service_chain = {svc::ServiceType::kIntrusionDetection};
+  network.controller().policies().add(policy);
+  std::printf("step 0: policy table:\n  %s\n\n", policy.to_string().c_str());
+
+  net::HttpServerApp server(gateway, {.port = 80, .response_size = 4096});
+  network.start();
+
+  std::printf("step 1: user opens a benign web flow to the gateway...\n");
+  net::HttpClientApp benign(user, {.server = gateway.ip(), .sessions = 1, .concurrency = 1,
+                                   .expected_response = 4096});
+  benign.start();
+  network.run_for(500 * kMillisecond);
+  std::printf("  responses completed: %llu (flow traversed the IDS: %llu packets seen)\n\n",
+              static_cast<unsigned long long>(benign.responses_completed()),
+              static_cast<unsigned long long>(ids.processed_packets()));
+
+  std::printf("step 2: the 4-entry redirection is in place:\n");
+  dump_flow_table(user_sw);
+  dump_flow_table(se_sw);
+  dump_flow_table(gw_sw);
+
+  std::printf("\nstep 3: user now requests a malicious site (IDS rule 1014)...\n");
+  net::AttackApp attacker(user, {.server = gateway.ip(), .packets = 15,
+                                 .interval = 50 * kMillisecond});
+  attacker.start();
+  network.run_for(2 * kSecond);
+
+  std::printf("step 4: controller reaction (event log):\n");
+  network.controller().events().replay(500 * kMillisecond, network.sim().now() + 1,
+                                       [](const mon::NetworkEvent& e) {
+                                         if (e.type == mon::EventType::kAttackDetected ||
+                                             e.type == mon::EventType::kFlowBlocked ||
+                                             e.type == mon::EventType::kFlowStart) {
+                                           std::printf("  %s\n", e.to_string().c_str());
+                                         }
+                                       });
+
+  std::printf("\nstep 5: ingress entry now drops at the entrance:\n");
+  dump_flow_table(user_sw);
+
+  std::printf("\nattack packets sent: %llu, requests that reached the gateway: %llu\n",
+              static_cast<unsigned long long>(attacker.packets_sent()),
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}

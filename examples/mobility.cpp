@@ -1,0 +1,75 @@
+// Mobility & elasticity walkthrough: DHCP-managed users roaming between
+// access switches while a service element VM live-migrates under them
+// (paper §III.D: "dynamic migration for elastic utilization of network
+// service resources ... the mobility of users and VMs can be guaranteed").
+#include <cstdio>
+
+#include "net/network.h"
+#include "net/traffic.h"
+
+using namespace livesec;
+
+int main() {
+  net::Network network;
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& floor1 = network.add_as_switch("floor1-ovs", backbone);
+  auto& floor2 = network.add_as_switch("floor2-ovs", backbone);
+  auto& dc = network.add_as_switch("dc-ovs", backbone);
+
+  // Central DHCP service (directory proxy, paper §III.C.2).
+  network.controller().enable_dhcp(Ipv4Address(10, 50, 0, 10), 32);
+
+  auto& laptop = network.add_host("laptop", floor1);
+  auto& server = network.add_host("server", dc, 1e9);
+  auto& ids = network.add_service_element(svc::ServiceType::kIntrusionDetection, floor1);
+
+  ctrl::Policy policy;
+  policy.nw_proto = static_cast<std::uint8_t>(pkt::IpProto::kUdp);
+  policy.action = ctrl::PolicyAction::kRedirect;
+  policy.service_chain = {svc::ServiceType::kIntrusionDetection};
+  network.controller().policies().add(policy);
+
+  network.start();
+
+  std::printf("step 1: laptop requests an address via DHCP...\n");
+  laptop.start_dhcp([](Ipv4Address ip) {
+    std::printf("  leased %s from the directory proxy\n", ip.to_string().c_str());
+  });
+  network.run_for(500 * kMillisecond);
+
+  std::printf("\nstep 2: laptop streams to the server through the floor1 IDS...\n");
+  net::UdpCbrApp stream(laptop, {.dst = server.ip(), .rate_bps = 8e6, .duration = 12 * kSecond});
+  stream.start();
+  network.run_for(3 * kSecond);
+  std::printf("  server received %llu packets; IDS inspected %llu\n",
+              static_cast<unsigned long long>(server.rx_ip_packets()),
+              static_cast<unsigned long long>(ids.processed_packets()));
+
+  std::printf("\nstep 3: the IDS VM live-migrates floor1 -> dc rack...\n");
+  network.migrate_service_element(ids, dc);
+  network.run_for(3 * kSecond);
+
+  std::printf("\nstep 4: the user roams floor1 -> floor2 mid-stream...\n");
+  network.move_host(laptop, floor2);
+  network.run_for(3 * kSecond);
+
+  const auto rx_final = server.rx_ip_packets();
+  std::printf("  server total: %llu packets (stream survived both moves)\n",
+              static_cast<unsigned long long>(rx_final));
+
+  std::printf("\nevent log (mobility-related):\n");
+  network.controller().events().replay(0, network.sim().now() + 1,
+                                       [](const mon::NetworkEvent& e) {
+                                         switch (e.type) {
+                                           case mon::EventType::kHostJoin:
+                                           case mon::EventType::kHostMoved:
+                                           case mon::EventType::kSeOnline:
+                                           case mon::EventType::kSeMigrated:
+                                             std::printf("  %s\n", e.to_string().c_str());
+                                             break;
+                                           default:
+                                             break;
+                                         }
+                                       });
+  return 0;
+}

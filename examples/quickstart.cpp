@@ -1,0 +1,73 @@
+// Quickstart: the smallest useful LiveSec deployment.
+//
+// Builds one legacy switch, two AS switches, two hosts and one intrusion-
+// detection service element; installs a policy steering host1 -> host2 web
+// traffic through the IDS; sends benign and malicious requests; prints what
+// the controller saw. Mirrors the interactive policy-enforcement walkthrough
+// of paper §IV.A (Figure 3).
+#include <cstdio>
+
+#include "monitor/webui.h"
+#include "net/network.h"
+#include "net/traffic.h"
+
+using namespace livesec;
+
+int main() {
+  net::Network network;
+
+  // Legacy-Switching layer: one backbone switch.
+  auto& backbone = network.add_legacy_switch("backbone");
+
+  // Access-Switching layer: two OpenFlow switches.
+  auto& ovs1 = network.add_as_switch("ovs1", backbone);
+  auto& ovs2 = network.add_as_switch("ovs2", backbone);
+
+  // Network-Periphery layer: a user, a web server, and an IDS SE.
+  auto& user = network.add_host("user", ovs1);
+  auto& server = network.add_host("server", ovs2);
+  auto& ids = network.add_service_element(svc::ServiceType::kIntrusionDetection, ovs2);
+
+  // Policy: all TCP port-80 traffic must traverse intrusion detection.
+  ctrl::Policy policy;
+  policy.name = "web-via-ids";
+  policy.priority = 10;
+  policy.nw_proto = static_cast<std::uint8_t>(pkt::IpProto::kTcp);
+  policy.tp_dst = 80;
+  policy.action = ctrl::PolicyAction::kRedirect;
+  policy.service_chain = {svc::ServiceType::kIntrusionDetection};
+  network.controller().policies().add(policy);
+
+  // A web server app and two clients: one benign, one malicious.
+  net::HttpServerApp http_server(server, {.port = 80, .response_size = 8 * 1024});
+
+  network.start();
+
+  net::HttpClientApp benign(user, {.server = server.ip(), .sessions = 3, .concurrency = 1,
+                                   .expected_response = 8 * 1024});
+  net::AttackApp attacker(user, {.server = server.ip()});
+  benign.start();
+  network.run_for(1 * kSecond);
+  attacker.start();
+  network.run_for(2 * kSecond);
+
+  // Report.
+  const auto& ctrl_stats = network.controller().stats();
+  std::printf("=== quickstart results ===\n");
+  std::printf("flows installed:         %llu\n",
+              static_cast<unsigned long long>(ctrl_stats.flows_installed));
+  std::printf("flows redirected to SE:  %llu\n",
+              static_cast<unsigned long long>(ctrl_stats.flows_redirected));
+  std::printf("flows blocked by event:  %llu\n",
+              static_cast<unsigned long long>(ctrl_stats.flows_blocked_by_event));
+  std::printf("benign responses done:   %llu\n",
+              static_cast<unsigned long long>(benign.responses_completed()));
+  std::printf("ids processed packets:   %llu\n",
+              static_cast<unsigned long long>(ids.processed_packets()));
+  std::printf("ids events sent:         %llu\n",
+              static_cast<unsigned long long>(ids.events_sent()));
+
+  mon::WebUi ui(network.controller());
+  std::printf("\n%s\n", ui.snapshot_text(0, network.sim().now() + 1).c_str());
+  return 0;
+}

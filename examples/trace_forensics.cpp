@@ -1,0 +1,80 @@
+// Traffic capture & offline forensics: SPAN-mirrors a user's traffic into a
+// trace, persists it, then replays it against an updated IDS ruleset — the
+// "historical traffic replay" workflow of the paper's abstract, at packet
+// granularity.
+#include <cstdio>
+
+#include "monitor/trace.h"
+#include "net/network.h"
+#include "net/trace_sink.h"
+#include "net/traffic.h"
+
+using namespace livesec;
+
+int main() {
+  net::Network network;
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& user_sw = network.add_as_switch("user-ovs", backbone);
+  auto& srv_sw = network.add_as_switch("srv-ovs", backbone);
+  auto& user = network.add_host("user", user_sw);
+  auto& server = network.add_host("server", srv_sw, 1e9);
+
+  // A capture box on a SPAN port of the user's switch.
+  net::TraceSink capture(network.sim(), "capture-box");
+  sim::Port& span = user_sw.add_port(sw::PortRole::kNetworkPeriphery);
+  auto span_link = sim::connect(network.sim(), capture.port(0), span);
+  network.controller().set_mirror_port(1, span.id());
+
+  net::HttpServerApp web(server, {.port = 80, .response_size = 4 * 1024});
+  network.start();
+
+  std::printf("step 1: user browses; one request carries a (not yet known) exploit...\n");
+  net::HttpClientApp benign(user, {.server = server.ip(), .sessions = 2, .concurrency = 1,
+                                   .expected_response = 4 * 1024});
+  benign.start();
+  network.run_for(1 * kSecond);
+
+  net::AttackApp stealth(user, {.server = server.ip(),
+                                .attack_payload =
+                                    "GET /app?cmd=STAGE2-IMPLANT-BEACON HTTP/1.1\r\n\r\n",
+                                .packets = 3});
+  stealth.start();
+  network.run_for(1 * kSecond);
+
+  std::printf("  captured %zu frames (%llu bytes) on the SPAN port\n", capture.trace().size(),
+              static_cast<unsigned long long>(capture.trace().total_bytes()));
+
+  std::printf("\nstep 2: persist the capture (the paper's database role)...\n");
+  const auto blob = capture.trace().serialize();
+  std::printf("  trace blob: %zu bytes\n", blob.size());
+  const auto restored = mon::Trace::deserialize(blob);
+  if (!restored) {
+    std::printf("  ERROR: trace did not round-trip\n");
+    return 1;
+  }
+
+  std::printf("\nstep 3: offline census of the captured traffic...\n");
+  svc::l7::L7Classifier census_classifier;
+  for (const auto& [proto, flows] : restored->classify_flows(census_classifier)) {
+    std::printf("  %-12s %zu flows\n", svc::l7::app_protocol_name(proto), flows);
+  }
+
+  std::printf("\nstep 4: replay against TODAY's IDS rules...\n");
+  svc::ids::IdsEngine today;
+  std::printf("  alerts: %zu (the implant marker is not in the ruleset yet)\n",
+              restored->replay_into(today).size());
+
+  std::printf("\nstep 5: threat intel lands; replay the SAME capture with the new rule...\n");
+  std::vector<std::string> errors;
+  auto rules = svc::ids::parse_rules(
+      "9100 implant.stage2-beacon tcp 80 10 STAGE2-IMPLANT-BEACON\n", errors);
+  svc::ids::IdsEngine tomorrow(std::move(rules));
+  const auto alerts = restored->replay_into(tomorrow);
+  std::printf("  alerts: %zu\n", alerts.size());
+  for (const auto& alert : alerts) {
+    std::printf("    rule %u '%s' sev=%d on flow %s\n", alert.rule_id, alert.rule_name.c_str(),
+                alert.severity, alert.flow.to_string().c_str());
+  }
+  std::printf("\nforensics verdict: the compromise WAS in last week's traffic.\n");
+  return alerts.empty() ? 1 : 0;
+}

@@ -1,0 +1,46 @@
+// Hashing helpers: FNV-1a and hash combination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace livesec {
+
+/// 64-bit FNV-1a over raw bytes. Deterministic across platforms — used for
+/// flow hashing in the hash load-balancing strategy and for the service
+/// element certification tokens.
+constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> data,
+                              std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a(std::string_view text, std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Mixes `value` into an accumulated hash (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t value) {
+  return h ^ (value + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4));
+}
+
+/// SplitMix64 — cheap stateless mixing used to decorrelate ids.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace livesec

@@ -1,0 +1,36 @@
+#include "common/ip_address.h"
+
+#include <cstdio>
+
+namespace livesec {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  int part = 0;
+  bool any_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      parts[part] = parts[part] * 10 + static_cast<std::uint32_t>(c - '0');
+      if (parts[part] > 255) return std::nullopt;
+      any_digit = true;
+    } else if (c == '.') {
+      if (!any_digit || part == 3) return std::nullopt;
+      ++part;
+      any_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (part != 3 || !any_digit) return std::nullopt;
+  return Ipv4Address(static_cast<std::uint8_t>(parts[0]), static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]), static_cast<std::uint8_t>(parts[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF, (value_ >> 16) & 0xFF,
+                (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+}  // namespace livesec

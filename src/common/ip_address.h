@@ -1,0 +1,54 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace livesec {
+
+/// An immutable IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  /// Parses dotted-quad "10.0.1.2". Returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  static constexpr Ipv4Address broadcast() { return Ipv4Address(0xFFFFFFFFu); }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_zero() const { return value_ == 0; }
+  constexpr bool is_broadcast() const { return value_ == 0xFFFFFFFFu; }
+
+  /// True when `other` is in the same /prefix_len subnet as this address.
+  constexpr bool same_subnet(Ipv4Address other, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask = prefix_len >= 32 ? 0xFFFFFFFFu : ~((1u << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (other.value_ & mask);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace livesec
+
+template <>
+struct std::hash<livesec::Ipv4Address> {
+  std::size_t operator()(const livesec::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace livesec {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration. Tests set `kOff` or `kWarn` to keep output
+/// clean; examples set `kInfo` to narrate what the controller does.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Emits one log line "[lvl] [component] message" to stderr if `level` is
+  /// enabled.
+  static void log(LogLevel level, std::string_view component, std::string_view message);
+
+  static const char* level_name(LogLevel level);
+};
+
+/// Convenience: streams into a single log call.
+/// Usage: LOGI("controller") << "host " << mac << " joined";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogLine() {
+    if (Logger::level() <= level_) Logger::log(level_, component_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logger::level() <= level_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+inline LogLine log_trace(std::string_view c) { return LogLine(LogLevel::kTrace, c); }
+inline LogLine log_debug(std::string_view c) { return LogLine(LogLevel::kDebug, c); }
+inline LogLine log_info(std::string_view c) { return LogLine(LogLevel::kInfo, c); }
+inline LogLine log_warn(std::string_view c) { return LogLine(LogLevel::kWarn, c); }
+inline LogLine log_error(std::string_view c) { return LogLine(LogLevel::kError, c); }
+
+}  // namespace livesec

@@ -1,0 +1,40 @@
+#include "common/mac_address.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace livesec {
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> bytes{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (c >= 'a' && c <= 'f') return 10 + (c - 'a');
+      return -1;
+    };
+    const int hi = hex(text[pos]);
+    const int lo = hex(text[pos + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    bytes[i] = static_cast<std::uint8_t>(hi * 16 + lo);
+    pos += 2;
+    if (i < 5) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddress(bytes);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1],
+                bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace livesec

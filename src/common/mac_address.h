@@ -1,0 +1,69 @@
+// 48-bit Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace livesec {
+
+/// An immutable 48-bit IEEE 802 MAC address.
+///
+/// MAC addresses identify hosts and service elements in the
+/// Network-Periphery layer and are the key of the controller's routing
+/// table (paper §III.C.2).
+class MacAddress {
+ public:
+  /// All-zero address (invalid as a host address).
+  constexpr MacAddress() = default;
+
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  /// Builds an address from the low 48 bits of `value` (big-endian order).
+  static constexpr MacAddress from_uint64(std::uint64_t value) {
+    std::array<std::uint8_t, 6> b{};
+    for (int i = 5; i >= 0; --i) {
+      b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xFF);
+      value >>= 8;
+    }
+    return MacAddress(b);
+  }
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). Returns nullopt on
+  /// malformed input.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() { return from_uint64(0xFFFFFFFFFFFFull); }
+
+  constexpr std::uint64_t to_uint64() const {
+    std::uint64_t v = 0;
+    for (std::uint8_t b : bytes_) v = (v << 8) | b;
+    return v;
+  }
+
+  constexpr const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+
+  constexpr bool is_broadcast() const { return to_uint64() == 0xFFFFFFFFFFFFull; }
+  constexpr bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+  constexpr bool is_zero() const { return to_uint64() == 0; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace livesec
+
+template <>
+struct std::hash<livesec::MacAddress> {
+  std::size_t operator()(const livesec::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_uint64());
+  }
+};

@@ -1,0 +1,22 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+namespace livesec {
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) return 0;
+  // Inverse-CDF over the (small) support; n is bounded in our workloads so a
+  // linear scan is simpler than the rejection method and exactly reproducible.
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  double target = uniform01() * total;
+  for (std::size_t r = 0; r < n; ++r) {
+    target -= 1.0 / std::pow(static_cast<double>(r + 1), s);
+    if (target <= 0.0) return r;
+  }
+  return n - 1;
+}
+
+}  // namespace livesec

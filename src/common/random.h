@@ -1,0 +1,41 @@
+// Deterministic random number generation for workloads and simulations.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace livesec {
+
+/// A seeded RNG wrapper. All stochastic behaviour in LiveSec (traffic
+/// generators, workload skew, jitter) draws from an explicitly seeded `Rng`
+/// so that every test and benchmark run is reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (>0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Zipf-like skewed index in [0, n): rank r chosen with weight 1/(r+1)^s.
+  std::size_t zipf(std::size_t n, double s);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace livesec

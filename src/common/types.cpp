@@ -1,0 +1,27 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace livesec {
+
+std::string format_time(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(t));
+  return buf;
+}
+
+std::string format_rate_bps(double bits_per_second) {
+  char buf[48];
+  if (bits_per_second >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gbps", bits_per_second / 1e9);
+  } else if (bits_per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mbps", bits_per_second / 1e6);
+  } else if (bits_per_second >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f Kbps", bits_per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f bps", bits_per_second);
+  }
+  return buf;
+}
+
+}  // namespace livesec

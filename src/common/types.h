@@ -1,0 +1,38 @@
+// Fundamental scalar types shared across all LiveSec modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace livesec {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Converts a simulated duration to (floating) seconds.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+/// Converts (floating) seconds into a simulated duration.
+constexpr SimTime from_seconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+/// Datapath identifier of an OpenFlow switch (paper: AS switch / AS router).
+using DatapathId = std::uint64_t;
+
+/// Port number local to one switch or host.
+using PortId = std::uint32_t;
+
+/// Port number reserved for "no port" / unset.
+inline constexpr PortId kInvalidPort = 0xFFFFFFFFu;
+
+/// Formats a simulated time as "12.345678s" for logs and event records.
+std::string format_time(SimTime t);
+
+/// Formats a bit rate as human-readable "X.Y Mbps" / "X.Y Gbps".
+std::string format_rate_bps(double bits_per_second);
+
+}  // namespace livesec

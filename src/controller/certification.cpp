@@ -1,0 +1,23 @@
+#include "controller/certification.h"
+
+#include <array>
+
+#include "common/hash.h"
+
+namespace livesec::ctrl {
+
+std::uint64_t CertificationAuthority::issue(std::uint64_t se_id) const {
+  // Two rounds of keyed mixing (hash(secret || id) re-mixed with the secret)
+  // so neither plain XOR nor a single splitmix can be inverted from
+  // (se_id, token) pairs without the secret.
+  std::uint64_t h = hash_combine(splitmix64(secret_), se_id);
+  h = splitmix64(h ^ secret_);
+  return h == 0 ? 1 : h;  // 0 is reserved for "uncertified"
+}
+
+bool CertificationAuthority::validate(std::uint64_t se_id, std::uint64_t token) const {
+  if (revoked_.contains(se_id)) return false;
+  return token != 0 && token == issue(se_id);
+}
+
+}  // namespace livesec::ctrl

@@ -1,0 +1,881 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "packet/dhcp.h"
+#include "services/service_element.h"
+#include "sim/simulator.h"
+#include "topology/lldp.h"
+
+namespace livesec::ctrl {
+
+Controller::Controller(sim::Simulator& sim) : Controller(sim, Config{}) {}
+
+Controller::Controller(sim::Simulator& sim, Config config)
+    : sim_(&sim),
+      config_(config),
+      routing_(config.host_timeout),
+      registry_(config.se_liveness_timeout),
+      policies_(config.default_action),
+      ca_(config.cert_secret),
+      lb_(config.lb_strategy) {}
+
+void Controller::attach_channel(DatapathId dpid, of::SecureChannel& channel,
+                                topo::NodeKind kind) {
+  SwitchState& state = switches_[dpid];
+  state.channel = &channel;
+  state.kind = kind;
+}
+
+void Controller::register_ls_port(DatapathId dpid, PortId port) { ls_ports_[dpid] = port; }
+
+std::optional<PortId> Controller::ls_port(DatapathId dpid) const {
+  auto it = ls_ports_.find(dpid);
+  if (it == ls_ports_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- channel events ----------------------------------------------------------
+
+void Controller::handle_switch_connected(DatapathId dpid, const of::FeaturesReply& features) {
+  SwitchState& state = switches_[dpid];
+  state.connected = true;
+  state.num_ports = features.num_ports;
+  state.name = features.name;
+
+  topo::TopologyGraph::SwitchInfo info;
+  info.dpid = dpid;
+  info.name = features.name;
+  info.kind = state.kind;
+  info.joined_at = sim_->now();
+  topology_.add_switch(info);
+
+  raise(mon::EventType::kSwitchJoin, features.name, "dpid=" + std::to_string(dpid), dpid);
+  send_lldp_probes(dpid);
+}
+
+void Controller::handle_switch_disconnected(DatapathId dpid) {
+  auto it = switches_.find(dpid);
+  if (it == switches_.end()) return;
+  it->second.connected = false;
+  raise(mon::EventType::kSwitchLeave, it->second.name, "dpid=" + std::to_string(dpid), dpid);
+  topology_.remove_switch(dpid);
+  for (const HostLocation& host : routing_.remove_switch(dpid)) {
+    raise(mon::EventType::kHostLeave, host.mac.to_string(), "switch disconnected", dpid);
+  }
+  ls_ports_.erase(dpid);
+}
+
+void Controller::handle_switch_message(DatapathId dpid, const of::Message& message) {
+  if (const auto* pin = std::get_if<of::PacketIn>(&message)) {
+    on_packet_in(dpid, *pin);
+  } else if (const auto* removed = std::get_if<of::FlowRemoved>(&message)) {
+    on_flow_removed(dpid, *removed);
+  } else if (const auto* reply = std::get_if<of::StatsReply>(&message)) {
+    // Fold the snapshot into the per-switch load view.
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& flow : reply->flows) {
+      packets += flow.packet_count;
+      bytes += flow.byte_count;
+    }
+    SwitchLoad& load = switch_loads_[dpid];
+    const SimTime now = sim_->now();
+    if (load.updated_at > 0 && now > load.updated_at && packets >= load.total_packets) {
+      const double dt = to_seconds(now - load.updated_at);
+      load.packets_per_second = static_cast<double>(packets - load.total_packets) / dt;
+      load.bits_per_second = static_cast<double>(bytes - load.total_bytes) * 8.0 / dt;
+    }
+    load.total_packets = packets;
+    load.total_bytes = bytes;
+    load.flow_count = reply->flows.size();
+    load.updated_at = now;
+  }
+}
+
+// --- discovery ----------------------------------------------------------------
+
+void Controller::run_discovery() {
+  for (const auto& [dpid, state] : switches_) {
+    if (state.connected) send_lldp_probes(dpid);
+  }
+}
+
+void Controller::send_lldp_probes(DatapathId dpid) {
+  const SwitchState& state = switches_.at(dpid);
+  if (state.channel == nullptr) return;
+  for (PortId port = 0; port < state.num_ports; ++port) {
+    topo::LldpInfo info;
+    info.chassis_id = dpid;
+    info.port_id = port;
+    of::PacketOut out;
+    out.in_port = kInvalidPort;
+    out.actions = of::output_to(port);
+    out.packet = pkt::finalize(info.to_packet());
+    state.channel->send_to_switch(std::move(out));
+  }
+}
+
+void Controller::handle_lldp(DatapathId dpid, PortId in_port, const pkt::Packet& packet) {
+  const auto info = topo::LldpInfo::from_packet(packet);
+  if (!info || info->chassis_id == dpid) return;
+  // The probe traversed the legacy fabric: the arrival port is this switch's
+  // Legacy-Switching uplink, and the emitting port is the peer's.
+  ls_ports_.emplace(dpid, in_port);
+  ls_ports_.emplace(info->chassis_id, info->port_id);
+
+  const topo::AsLink link{info->chassis_id, info->port_id, dpid, in_port};
+  if (!topology_.links().find(link.src, link.dst)) {
+    topology_.links().add(link);
+    ++stats_.lldp_links;
+    raise(mon::EventType::kLinkDiscovered,
+          "dpid" + std::to_string(link.src) + "<->dpid" + std::to_string(link.dst), "", dpid);
+  }
+}
+
+// --- packet-in pipeline ---------------------------------------------------------
+
+void Controller::on_packet_in(DatapathId dpid, const of::PacketIn& pin) {
+  ++stats_.packet_ins;
+  const pkt::Packet& packet = *pin.packet;
+
+  if (packet.eth.ether_type == static_cast<std::uint16_t>(pkt::EtherType::kLldp)) {
+    handle_lldp(dpid, pin.in_port, packet);
+    return;
+  }
+  if (svc::is_daemon_packet(packet)) {
+    handle_daemon(dpid, pin.in_port, packet);
+    return;  // deliberately no flow entry (paper §III.D.1)
+  }
+  if (packet.arp) {
+    handle_arp(dpid, pin);
+    return;
+  }
+  if (pkt::is_dhcp_packet(packet)) {
+    handle_dhcp(dpid, pin);
+    return;  // DHCP is proxied; never a data-path flow
+  }
+  if (packet.ipv4) {
+    // Any data-plane packet refreshes the sender's liveness.
+    routing_.touch(packet.eth.src, sim_->now());
+    handle_flow_setup(dpid, pin);
+  }
+  // Non-IP, non-ARP unicast: ignored (no policy semantics defined).
+}
+
+// --- SE daemon messages ----------------------------------------------------------
+
+void Controller::handle_daemon(DatapathId dpid, PortId in_port, const pkt::Packet& packet) {
+  const auto message = svc::DaemonMessage::decode(packet.payload_view());
+  if (!message) return;  // wrong identifier/format: not a legitimate message
+  ++stats_.daemon_messages;
+
+  if (!ca_.validate(message->se_id, message->cert_token)) {
+    ++stats_.cert_rejections;
+    raise(mon::EventType::kCertificationRejected, "se" + std::to_string(message->se_id),
+          "invalid certificate", dpid, message->se_id, 8);
+    // Paper §III.D.1: flows generated by an uncertified SE are dropped at
+    // the ingress AS switch.
+    install_drop(dpid, in_port, pkt::FlowKey::from_packet(packet));
+    return;
+  }
+
+  if (const auto* online = std::get_if<svc::OnlineMessage>(&message->body)) {
+    // Detect VM migration (paper §III.D.1: "dynamic migration for elastic
+    // utilization of network service resources") before the record updates.
+    const SeRecord* existing = registry_.find(message->se_id);
+    const bool migrated =
+        existing != nullptr && (existing->dpid != dpid || existing->port != in_port);
+
+    const bool fresh =
+        registry_.handle_online(message->se_id, packet.eth.src,
+                                packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid, in_port,
+                                *online, sim_->now());
+    if (migrated) {
+      // Stale paths still steer to the old attachment point: tear them down
+      // (they re-setup through the new location on the next packet), and
+      // re-teach the fabric where the SE now lives.
+      const std::size_t torn = teardown_flows_through_se(message->se_id);
+      primed_.erase(packet.eth.src);
+      prime_fabric_location(packet.eth.src, packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid);
+      topo::TopologyGraph::AttachedNode node;
+      node.name = "se" + std::to_string(message->se_id) + ":" +
+                  svc::service_type_name(online->service);
+      node.kind = topo::NodeKind::kServiceElement;
+      node.dpid = dpid;
+      node.port = in_port;
+      node.joined_at = sim_->now();
+      topology_.upsert_node("se" + std::to_string(message->se_id), node);
+      raise(mon::EventType::kSeMigrated, "se" + std::to_string(message->se_id),
+            "now at dpid=" + std::to_string(dpid) + ", " + std::to_string(torn) +
+                " flows re-routed",
+            dpid, message->se_id);
+    }
+    routing_.learn(packet.eth.src, packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid, in_port,
+                   sim_->now());
+    prime_fabric_location(packet.eth.src, packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid);
+    if (fresh) {
+      topo::TopologyGraph::AttachedNode node;
+      node.name = "se" + std::to_string(message->se_id) + ":" +
+                  svc::service_type_name(online->service);
+      node.kind = topo::NodeKind::kServiceElement;
+      node.dpid = dpid;
+      node.port = in_port;
+      node.joined_at = sim_->now();
+      topology_.upsert_node("se" + std::to_string(message->se_id), node);
+      raise(mon::EventType::kSeOnline, "se" + std::to_string(message->se_id),
+            svc::service_type_name(online->service), dpid, message->se_id);
+    }
+  } else if (const auto* event = std::get_if<svc::EventMessage>(&message->body)) {
+    const SeRecord* se = registry_.find(message->se_id);
+    if (se != nullptr) handle_daemon_event(*se, *event);
+  }
+}
+
+void Controller::handle_daemon_event(const SeRecord& se, const svc::EventMessage& event) {
+  // Map the flow the SE observed (dl_dst rewritten to the SE's MAC) back to
+  // the original end-to-end flow, and fold reverse-direction reports onto
+  // the forward session key.
+  pkt::FlowKey original = event.flow;
+  if (auto it = steered_index_.find(event.flow); it != steered_index_.end()) {
+    original = it->second;
+  }
+  if (auto it = reverse_index_.find(original); it != reverse_index_.end()) {
+    original = it->second;
+  }
+  auto record_it = flows_.find(original);
+
+  switch (event.kind) {
+    case svc::EventKind::kAttackDetected:
+    case svc::EventKind::kVirusFound:
+    case svc::EventKind::kContentViolation:
+    case svc::EventKind::kFirewallDenied: {
+      // The firewall SE already drops the packets it denies; blocking the
+      // flow at its ingress additionally stops the denied traffic from
+      // consuming fabric and SE capacity (same path as attack handling).
+      const mon::EventType type =
+          event.kind == svc::EventKind::kAttackDetected ? mon::EventType::kAttackDetected
+          : event.kind == svc::EventKind::kVirusFound   ? mon::EventType::kVirusFound
+          : event.kind == svc::EventKind::kFirewallDenied
+              ? mon::EventType::kPolicyDenied
+              : mon::EventType::kContentViolation;
+      raise(type, original.dl_src.to_string(), event.description, se.dpid, se.se_id,
+            event.severity, &original);
+
+      blocked_flows_.insert(original);
+      if (record_it != flows_.end() && !record_it->second.blocked) {
+        FlowRecord& record = record_it->second;
+        record.blocked = true;
+        // Paper §IV.A: "modify relevant flow entries with the drop action in
+        // the ingress AS switch, to block this flow at the entrance".
+        of::FlowMod mod;
+        mod.command = of::FlowModCommand::kModifyStrict;
+        mod.entry.match = of::Match::exact(record.ingress_port, record.key);
+        mod.entry.priority = config_.flow_priority;
+        mod.entry.actions = of::drop();
+        send_flow_mod(record.ingress_dpid, mod);
+        ++stats_.flows_blocked_by_event;
+        raise(mon::EventType::kFlowBlocked, original.dl_src.to_string(),
+              "blocked at ingress dpid=" + std::to_string(record.ingress_dpid),
+              record.ingress_dpid, se.se_id, event.severity, &original);
+      }
+      break;
+    }
+    case svc::EventKind::kProtocolIdentified: {
+      const auto proto = static_cast<svc::l7::AppProtocol>(event.rule_id);
+      raise(mon::EventType::kProtocolIdentified, original.dl_src.to_string(),
+            svc::l7::app_protocol_name(proto), se.dpid, se.se_id, 0, &original);
+      if (record_it != flows_.end()) {
+        FlowRecord& record = record_it->second;
+        if (record.app == svc::l7::AppProtocol::kUnknown) {
+          record.app = proto;
+          monitor_.record_flow_identified(record.user, proto);
+          // Aggregate flow control (paper §IV.C): too many active flows of
+          // this app for this user => block the newest flow at the ingress.
+          if (!flow_control_.admits(monitor_, record.user, proto)) {
+            flow_control_.record_rejection();
+            blocked_flows_.insert(record.key);
+            record.blocked = true;
+            of::FlowMod mod;
+            mod.command = of::FlowModCommand::kModifyStrict;
+            mod.entry.match = of::Match::exact(record.ingress_port, record.key);
+            mod.entry.priority = config_.flow_priority;
+            mod.entry.actions = of::drop();
+            send_flow_mod(record.ingress_dpid, mod);
+            raise(mon::EventType::kAggregateLimitHit, record.user.to_string(),
+                  svc::l7::app_protocol_name(proto), record.ingress_dpid, se.se_id, 3,
+                  &record.key);
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+// --- ARP: location discovery + directory proxy -----------------------------------
+
+void Controller::handle_arp(DatapathId dpid, const of::PacketIn& pin) {
+  const pkt::Packet& packet = *pin.packet;
+  const pkt::ArpHeader& arp = *packet.arp;
+
+  const HostLocation* known = routing_.find(arp.sender_mac);
+  const bool moved = known != nullptr && (known->dpid != dpid || known->port != pin.in_port);
+  const bool fresh =
+      routing_.learn(arp.sender_mac, arp.sender_ip, dpid, pin.in_port, sim_->now()) && !moved;
+
+  if (moved && registry_.find_by_mac(arp.sender_mac) == nullptr) {
+    // Host mobility (paper §III.D: "the mobility of users and VMs can be
+    // guaranteed by existing OpenFlow technologies"): stale paths are torn
+    // down and the fabric re-primed toward the new attachment point.
+    const std::size_t torn = teardown_flows_of_host(arp.sender_mac);
+    primed_.erase(arp.sender_mac);
+    prime_fabric_location(arp.sender_mac, arp.sender_ip, dpid);
+    topo::TopologyGraph::AttachedNode node;
+    node.name = arp.sender_ip.to_string();
+    node.kind = topo::NodeKind::kHost;
+    node.dpid = dpid;
+    node.port = pin.in_port;
+    node.joined_at = sim_->now();
+    topology_.upsert_node(arp.sender_mac.to_string(), node);
+    raise(mon::EventType::kHostMoved, arp.sender_mac.to_string(),
+          "now at dpid=" + std::to_string(dpid) + ", " + std::to_string(torn) +
+              " flows re-routed",
+          dpid);
+  }
+  if (fresh && registry_.find_by_mac(arp.sender_mac) == nullptr) {
+    topo::TopologyGraph::AttachedNode node;
+    node.name = arp.sender_ip.to_string();
+    node.kind = topo::NodeKind::kHost;
+    node.dpid = dpid;
+    node.port = pin.in_port;
+    node.joined_at = sim_->now();
+    topology_.upsert_node(arp.sender_mac.to_string(), node);
+    raise(mon::EventType::kHostJoin, arp.sender_mac.to_string(), arp.sender_ip.to_string(), dpid);
+  }
+
+  const SwitchState& state = switches_.at(dpid);
+  if (state.channel == nullptr) return;
+
+  if (arp.op == pkt::ArpOp::kRequest) {
+    if (arp.sender_ip == arp.target_ip) return;  // gratuitous: learn only
+    const HostLocation* target = routing_.find_by_ip(arp.target_ip);
+    if (target != nullptr) {
+      // Directory proxy (paper §III.C.2): answer from global host info, no
+      // broadcast into the legacy fabric.
+      ++stats_.arp_proxied;
+      auto reply = pkt::PacketBuilder()
+                       .eth(target->mac, arp.sender_mac)
+                       .arp(pkt::ArpOp::kReply, target->mac, arp.target_ip, arp.sender_mac,
+                            arp.sender_ip)
+                       .finalize();
+      of::PacketOut out;
+      out.actions = of::output_to(pin.in_port);
+      out.packet = std::move(reply);
+      state.channel->send_to_switch(std::move(out));
+    } else {
+      // Unknown target: fall back to flooding on the ingress switch only.
+      of::PacketOut out;
+      out.buffer_id = pin.buffer_id;
+      out.in_port = pin.in_port;
+      out.actions = {of::ActionFlood{}};
+      state.channel->send_to_switch(std::move(out));
+    }
+    return;
+  }
+
+  // ARP reply punted (e.g. answer to a flooded request): deliver directly to
+  // the target host using global location knowledge.
+  const HostLocation* dst = routing_.find(packet.eth.dst);
+  if (dst != nullptr) {
+    auto dst_state_it = switches_.find(dst->dpid);
+    if (dst_state_it != switches_.end() && dst_state_it->second.channel != nullptr) {
+      of::PacketOut out;
+      out.actions = of::output_to(dst->port);
+      out.packet = pin.packet;
+      dst_state_it->second.channel->send_to_switch(std::move(out));
+    }
+  }
+}
+
+// --- DHCP directory proxy (paper §III.C.2) -----------------------------------------
+
+void Controller::enable_dhcp(Ipv4Address base, std::uint32_t size, SimTime lease_duration) {
+  dhcp_.emplace(base, size, lease_duration);
+}
+
+void Controller::handle_dhcp(DatapathId dpid, const of::PacketIn& pin) {
+  if (!dhcp_) return;  // no DHCP service configured: drop
+  const auto request = pkt::DhcpMessage::decode(pin.packet->payload_view());
+  if (!request) return;
+  auto sw = switches_.find(dpid);
+  if (sw == switches_.end() || sw->second.channel == nullptr) return;
+
+  pkt::DhcpMessage reply;
+  reply.xid = request->xid;
+  reply.client_mac = request->client_mac;
+  reply.server_ip = svc::controller_service_ip();
+  reply.lease_seconds =
+      static_cast<std::uint32_t>(dhcp_->lease_duration() / kSecond);
+
+  if (request->op == pkt::DhcpOp::kDiscover || request->op == pkt::DhcpOp::kRequest) {
+    const auto leased = dhcp_->allocate(request->client_mac, sim_->now());
+    if (!leased) {
+      reply.op = pkt::DhcpOp::kNak;
+    } else if (request->op == pkt::DhcpOp::kDiscover) {
+      reply.op = pkt::DhcpOp::kOffer;
+      reply.your_ip = *leased;
+    } else {
+      reply.op = pkt::DhcpOp::kAck;
+      reply.your_ip = *leased;
+      // A committed lease is a host location: record it like an ARP would.
+      const bool fresh =
+          routing_.learn(request->client_mac, *leased, dpid, pin.in_port, sim_->now());
+      if (fresh) {
+        topo::TopologyGraph::AttachedNode node;
+        node.name = leased->to_string();
+        node.kind = topo::NodeKind::kHost;
+        node.dpid = dpid;
+        node.port = pin.in_port;
+        node.joined_at = sim_->now();
+        topology_.upsert_node(request->client_mac.to_string(), node);
+        raise(mon::EventType::kHostJoin, request->client_mac.to_string(),
+              "dhcp " + leased->to_string(), dpid);
+      }
+    }
+  } else {
+    return;  // clients never receive OFFER/ACK via packet-in
+  }
+
+  of::PacketOut out;
+  out.actions = of::output_to(pin.in_port);
+  out.packet =
+      pkt::finalize(reply.to_packet(svc::controller_service_mac(), svc::controller_service_ip()));
+  sw->second.channel->send_to_switch(std::move(out));
+}
+
+// --- flow setup (paper §III.C.3 + §IV.A) ------------------------------------------
+
+pkt::FlowKey Controller::session_reverse(const pkt::FlowKey& key) {
+  pkt::FlowKey rev = key.reversed();
+  if (key.nw_proto == static_cast<std::uint8_t>(pkt::IpProto::kIcmp)) {
+    // ICMP echo: the reply is type 0, the request type 8 (stored in tp_src).
+    rev.tp_src = key.tp_src == 8 ? 0 : 8;
+    rev.tp_dst = 0;
+  }
+  return rev;
+}
+
+void Controller::handle_flow_setup(DatapathId dpid, const of::PacketIn& pin) {
+  const pkt::Packet& packet = *pin.packet;
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(packet);
+
+  if (blocked_flows_.contains(key)) {
+    install_drop(dpid, pin.in_port, key);
+    return;
+  }
+
+  // Duplicate packet-in: packets of this flow raced to the controller before
+  // the entries landed on the switch. Release the parked packet through the
+  // already-computed ingress actions instead of re-running flow setup.
+  if (auto existing = flows_.find(key); existing != flows_.end()) {
+    auto sw = switches_.find(dpid);
+    if (sw != switches_.end() && sw->second.channel != nullptr) {
+      of::PacketOut out;
+      out.buffer_id = pin.buffer_id;
+      out.in_port = pin.in_port;
+      out.actions = existing->second.ingress_actions;
+      sw->second.channel->send_to_switch(std::move(out));
+    }
+    return;
+  }
+
+  const Policy* policy = policies_.lookup(key);
+  const PolicyAction action = policy != nullptr ? policy->action : policies_.default_action();
+
+  if (action == PolicyAction::kDeny) {
+    ++stats_.flows_denied;
+    install_drop(dpid, pin.in_port, key);
+    raise(mon::EventType::kPolicyDenied, key.dl_src.to_string(),
+          policy != nullptr ? policy->name : "default-deny", dpid, 0, 2, &key);
+    return;
+  }
+
+  const HostLocation* src = routing_.find(key.dl_src);
+  const HostLocation* dst = routing_.find(key.dl_dst);
+  if (src == nullptr || dst == nullptr) {
+    // Destination unknown: the host has not announced itself yet. Without a
+    // location there is no egress switch; drop and let the sender retry
+    // after ARP.
+    return;
+  }
+
+  // Select the service chain via load balancing (paper §IV.B).
+  std::vector<const SeRecord*> chain;
+  std::vector<std::uint64_t> se_ids;
+  if (action == PolicyAction::kRedirect && policy != nullptr) {
+    for (svc::ServiceType service : policy->service_chain) {
+      const auto se_id = lb_.assign(registry_, service, key, policy->granularity);
+      if (!se_id) continue;  // no live SE of this type: fail-open
+      const SeRecord* se = registry_.find(*se_id);
+      if (se != nullptr) {
+        chain.push_back(se);
+        se_ids.push_back(*se_id);
+      }
+    }
+  }
+
+  FlowRecord record;
+  record.key = key;
+  record.ingress_dpid = dpid;
+  record.ingress_port = pin.in_port;
+  record.policy_id = policy != nullptr ? policy->id : 0;
+  record.se_ids = se_ids;
+  record.user = key.dl_src;
+  record.started_at = sim_->now();
+
+  const std::uint64_t cookie = next_cookie_++;
+  record.cookie = cookie;
+
+  // Teach the legacy fabric where the destination and the chain's SEs live,
+  // so the two-hop route unicasts instead of flooding.
+  prime_fabric_location(dst->mac, dst->ip, dst->dpid);
+  for (const SeRecord* se : chain) prime_fabric_location(se->mac, se->ip, se->dpid);
+
+  PathSpec forward;
+  forward.key = key;
+  forward.src = *src;
+  forward.dst = *dst;
+  forward.chain = chain;
+  forward.buffer_id = pin.buffer_id;
+  forward.idle_timeout = config_.flow_idle_timeout;
+  forward.notify_ingress_removal = true;
+  forward.cookie = cookie;
+  if (!install_path(forward, record.installed, &record.ingress_actions)) return;
+
+  // Pre-install the reply direction as one session (paper §III.C.3),
+  // traversing the same SEs in reverse order so stream inspection sees both
+  // directions of the conversation.
+  PathSpec reverse;
+  reverse.key = session_reverse(key);
+  reverse.src = *dst;
+  reverse.dst = *src;
+  reverse.chain = {chain.rbegin(), chain.rend()};
+  reverse.idle_timeout = config_.flow_idle_timeout;
+  install_path(reverse, record.installed);
+
+  record.reverse_key = reverse.key;
+  reverse_index_[reverse.key] = key;
+  cookie_index_[cookie] = key;
+
+  // Register the steered variants so SE event reports resolve to this flow.
+  for (const SeRecord* se : chain) {
+    pkt::FlowKey steered = key;
+    steered.dl_dst = se->mac;
+    steered_index_[steered] = key;
+    record.steered_keys.push_back(steered);
+    pkt::FlowKey steered_rev = reverse.key;
+    steered_rev.dl_dst = se->mac;
+    steered_index_[steered_rev] = key;
+    record.steered_keys.push_back(steered_rev);
+  }
+
+  ++stats_.flows_installed;
+  if (!chain.empty()) ++stats_.flows_redirected;
+  raise(mon::EventType::kFlowStart, key.dl_src.to_string(),
+        key.to_string() + (chain.empty() ? "" : " via " + std::to_string(chain.size()) + " SE"),
+        dpid, 0, 0, &key);
+  flows_[key] = std::move(record);
+}
+
+bool Controller::install_path(const PathSpec& spec,
+                              std::vector<std::pair<DatapathId, of::Match>>& installed,
+                              of::ActionList* ingress_actions) {
+  DatapathId cur = spec.src.dpid;
+  PortId cur_in = spec.src.port;
+  pkt::FlowKey cur_key = spec.key;
+  const MacAddress orig_src = spec.key.dl_src;
+  const MacAddress final_mac = spec.key.dl_dst;
+  // SE the packet most recently returned from. Frames leaving that SE's
+  // switch into the legacy fabric carry the SE's MAC as dl_src (restored at
+  // the next hop); otherwise the learning fabric would see the original
+  // host's MAC appear on the SE switch's port and re-point it there,
+  // blackholing the host's own traffic (middlebox MAC flapping).
+  const SeRecord* prev_se = nullptr;
+  bool first = true;
+
+  auto emit = [&](DatapathId dpid, of::FlowEntry entry) -> void {
+    entry.priority = config_.flow_priority;
+    entry.idle_timeout = spec.idle_timeout;
+    // SPAN: duplicate the (pre-forwarding) frame onto the mirror port.
+    if (auto mirror = mirror_ports_.find(dpid); mirror != mirror_ports_.end()) {
+      entry.actions.insert(entry.actions.begin(), of::ActionOutput{mirror->second});
+    }
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kAdd;
+    if (first) {
+      entry.cookie = spec.cookie;
+      mod.notify_on_removal = spec.notify_ingress_removal;
+      mod.buffer_id = spec.buffer_id;
+      if (ingress_actions != nullptr) *ingress_actions = entry.actions;
+      first = false;
+    }
+    installed.emplace_back(dpid, entry.match);
+    mod.entry = std::move(entry);
+    send_flow_mod(dpid, mod);
+  };
+
+  // Steering hops through the service chain (paper §IV.A steps i-iii).
+  for (const SeRecord* se : spec.chain) {
+    of::FlowEntry steer;
+    steer.match = of::Match::exact(cur_in, cur_key);
+    steer.actions.push_back(of::ActionSetDlDst{se->mac});
+    if (se->dpid == cur) {
+      steer.actions.push_back(of::ActionOutput{se->port});
+    } else {
+      if (prev_se != nullptr) steer.actions.push_back(of::ActionSetDlSrc{prev_se->mac});
+      const auto out = ls_port(cur);
+      if (!out) return false;
+      steer.actions.push_back(of::ActionOutput{*out});
+    }
+    emit(cur, std::move(steer));
+
+    cur_key.dl_dst = se->mac;
+    if (se->dpid != cur) {
+      if (prev_se != nullptr) cur_key.dl_src = prev_se->mac;
+      const auto in = ls_port(se->dpid);
+      if (!in) return false;
+      of::FlowEntry arrive;
+      arrive.match = of::Match::exact(*in, cur_key);
+      // Restore the true source before the SE inspects the flow.
+      if (cur_key.dl_src != orig_src) arrive.actions.push_back(of::ActionSetDlSrc{orig_src});
+      arrive.actions.push_back(of::ActionOutput{se->port});
+      emit(se->dpid, std::move(arrive));
+      cur_key.dl_src = orig_src;
+    }
+    cur = se->dpid;
+    cur_in = se->port;
+    prev_se = se;
+  }
+
+  // Final delivery (paper §IV.A step iii-iv / §III.C.3 two-hop routing).
+  of::FlowEntry last;
+  last.match = of::Match::exact(cur_in, cur_key);
+  if (cur_key.dl_dst != final_mac) last.actions.push_back(of::ActionSetDlDst{final_mac});
+  if (spec.dst.dpid == cur) {
+    last.actions.push_back(of::ActionOutput{spec.dst.port});
+    emit(cur, std::move(last));
+  } else {
+    if (prev_se != nullptr) last.actions.push_back(of::ActionSetDlSrc{prev_se->mac});
+    const auto out = ls_port(cur);
+    if (!out) return false;
+    last.actions.push_back(of::ActionOutput{*out});
+    emit(cur, std::move(last));
+
+    const auto in = ls_port(spec.dst.dpid);
+    if (!in) return false;
+    cur_key.dl_dst = final_mac;
+    if (prev_se != nullptr) cur_key.dl_src = prev_se->mac;
+    of::FlowEntry egress;
+    egress.match = of::Match::exact(*in, cur_key);
+    if (cur_key.dl_src != orig_src) egress.actions.push_back(of::ActionSetDlSrc{orig_src});
+    egress.actions.push_back(of::ActionOutput{spec.dst.port});
+    emit(spec.dst.dpid, std::move(egress));
+  }
+  return true;
+}
+
+void Controller::install_drop(DatapathId dpid, PortId in_port, const pkt::FlowKey& key) {
+  of::FlowEntry entry;
+  entry.match = of::Match::exact(in_port, key);
+  entry.actions = of::drop();
+  entry.priority = config_.drop_priority;
+  entry.idle_timeout = config_.flow_idle_timeout * 3;
+  of::FlowMod mod;
+  mod.command = of::FlowModCommand::kAdd;
+  mod.entry = std::move(entry);
+  send_flow_mod(dpid, mod);
+}
+
+bool Controller::unblock_flow(const pkt::FlowKey& key) { return blocked_flows_.erase(key) > 0; }
+
+// --- flow teardown -----------------------------------------------------------------
+
+void Controller::teardown_flow(const pkt::FlowKey& key) {
+  auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  FlowRecord record = std::move(it->second);
+  flows_.erase(it);
+
+  for (const auto& [dpid, match] : record.installed) {
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kDeleteStrict;
+    mod.entry.match = match;
+    mod.entry.priority = config_.flow_priority;
+    send_flow_mod(dpid, mod);
+  }
+  // Forget bookkeeping so the late FlowRemoved from the delete is ignored.
+  cookie_index_.erase(record.cookie);
+  for (const pkt::FlowKey& steered : record.steered_keys) steered_index_.erase(steered);
+  reverse_index_.erase(record.reverse_key);
+  if (record.app != svc::l7::AppProtocol::kUnknown) {
+    monitor_.record_flow_ended(record.user, record.app);
+  }
+  for (std::uint64_t se_id : record.se_ids) {
+    const SeRecord* se = registry_.find(se_id);
+    if (se != nullptr) lb_.release_flow(key, se->service);
+  }
+  raise(mon::EventType::kFlowEnd, key.dl_src.to_string(), "torn down", record.ingress_dpid, 0, 0,
+        &key);
+}
+
+std::size_t Controller::teardown_flows_through_se(std::uint64_t se_id) {
+  std::vector<pkt::FlowKey> affected;
+  for (const auto& [key, record] : flows_) {
+    if (std::find(record.se_ids.begin(), record.se_ids.end(), se_id) != record.se_ids.end()) {
+      affected.push_back(key);
+    }
+  }
+  for (const pkt::FlowKey& key : affected) teardown_flow(key);
+  return affected.size();
+}
+
+std::size_t Controller::teardown_flows_of_host(const MacAddress& mac) {
+  std::vector<pkt::FlowKey> affected;
+  for (const auto& [key, record] : flows_) {
+    if (record.user == mac || key.dl_dst == mac) affected.push_back(key);
+  }
+  for (const pkt::FlowKey& key : affected) teardown_flow(key);
+  return affected.size();
+}
+
+void Controller::on_flow_removed(DatapathId dpid, const of::FlowRemoved& removed) {
+  (void)dpid;
+  auto cookie_it = cookie_index_.find(removed.cookie);
+  if (cookie_it == cookie_index_.end()) return;
+  const pkt::FlowKey key = cookie_it->second;
+  cookie_index_.erase(cookie_it);
+
+  auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  FlowRecord& record = it->second;
+
+  if (record.app != svc::l7::AppProtocol::kUnknown) {
+    monitor_.record_flow_ended(record.user, record.app);
+  }
+  // Data-path counters from the expired entry feed the per-user traffic
+  // distribution view (paper §IV.C).
+  monitor_.record_flow_traffic(record.user, removed.packet_count, removed.byte_count);
+  for (std::uint64_t se_id : record.se_ids) {
+    const SeRecord* se = registry_.find(se_id);
+    if (se != nullptr) lb_.release_flow(key, se->service);
+  }
+  for (const pkt::FlowKey& steered : record.steered_keys) steered_index_.erase(steered);
+  reverse_index_.erase(record.reverse_key);
+
+  raise(mon::EventType::kFlowEnd, key.dl_src.to_string(),
+        "pkts=" + std::to_string(removed.packet_count) +
+            " bytes=" + std::to_string(removed.byte_count),
+        record.ingress_dpid, 0, 0, &key);
+  flows_.erase(it);
+}
+
+// --- housekeeping ---------------------------------------------------------------------
+
+void Controller::start_housekeeping() {
+  if (housekeeping_running_) return;
+  housekeeping_running_ = true;
+  sim_->schedule(config_.housekeeping_interval, [this]() { housekeeping_tick(); });
+}
+
+void Controller::housekeeping_tick() {
+  if (!housekeeping_running_) return;
+  const SimTime now = sim_->now();
+
+  for (const HostLocation& host : routing_.expire(now)) {
+    if (registry_.find_by_mac(host.mac) != nullptr) continue;  // SEs expire below
+    topology_.remove_node(host.mac.to_string());
+    raise(mon::EventType::kHostLeave, host.mac.to_string(), "arp timeout", host.dpid);
+  }
+  for (const SeRecord& se : registry_.expire(now)) {
+    lb_.purge_se(se.se_id);
+    topology_.remove_node("se" + std::to_string(se.se_id));
+    // Flows steered through the dead SE would blackhole until their idle
+    // timeout; tear them down so their next packet re-routes over the
+    // surviving pool (no single point of failure, paper §IV.B).
+    const std::size_t torn = teardown_flows_through_se(se.se_id);
+    raise(mon::EventType::kSeOffline, "se" + std::to_string(se.se_id),
+          std::string(svc::service_type_name(se.service)) + ", " + std::to_string(torn) +
+              " flows re-routed",
+          se.dpid, se.se_id);
+  }
+  // Periodic re-discovery keeps the link table fresh across topology
+  // changes; interval 0 limits discovery to switch-join time.
+  if (config_.lldp_interval > 0 && now >= next_lldp_) {
+    run_discovery();
+    next_lldp_ = now + config_.lldp_interval;
+  }
+  if (config_.stats_interval > 0 && now >= next_stats_poll_) {
+    poll_stats();
+    next_stats_poll_ = now + config_.stats_interval;
+  }
+  sim_->schedule(config_.housekeeping_interval, [this]() { housekeeping_tick(); });
+}
+
+// --- helpers -----------------------------------------------------------------------
+
+const Controller::SwitchLoad* Controller::switch_load(DatapathId dpid) const {
+  auto it = switch_loads_.find(dpid);
+  return it == switch_loads_.end() ? nullptr : &it->second;
+}
+
+void Controller::poll_stats() {
+  for (const auto& [dpid, state] : switches_) {
+    if (state.connected && state.channel != nullptr) {
+      state.channel->send_to_switch(of::StatsRequest{});
+    }
+  }
+}
+
+void Controller::prime_fabric_location(const MacAddress& mac, Ipv4Address ip, DatapathId dpid) {
+  constexpr SimTime kPrimeInterval = 30 * kSecond;
+  const SimTime now = sim_->now();
+  auto it = primed_.find(mac);
+  if (it != primed_.end() && now - it->second < kPrimeInterval) return;
+  const auto ls = ls_port(dpid);
+  auto sw = switches_.find(dpid);
+  if (!ls || sw == switches_.end() || sw->second.channel == nullptr) return;
+  primed_[mac] = now;
+
+  of::PacketOut out;
+  out.actions = of::output_to(*ls);
+  out.packet = pkt::PacketBuilder()
+                   .eth(mac, MacAddress::broadcast())
+                   .arp(pkt::ArpOp::kRequest, mac, ip, MacAddress(), ip)
+                   .finalize();
+  sw->second.channel->send_to_switch(std::move(out));
+}
+
+void Controller::send_flow_mod(DatapathId dpid, of::FlowMod mod) {
+  auto it = switches_.find(dpid);
+  if (it == switches_.end() || it->second.channel == nullptr || !it->second.connected) return;
+  it->second.channel->send_to_switch(std::move(mod));
+}
+
+void Controller::raise(mon::EventType type, std::string subject, std::string detail,
+                       DatapathId dpid, std::uint64_t se_id, std::uint8_t severity,
+                       const pkt::FlowKey* flow) {
+  mon::NetworkEvent event;
+  event.time = sim_->now();
+  event.type = type;
+  event.subject = std::move(subject);
+  event.detail = std::move(detail);
+  event.dpid = dpid;
+  event.se_id = se_id;
+  event.severity = severity;
+  if (flow != nullptr) event.flow = *flow;
+  events_.append(std::move(event));
+}
+
+}  // namespace livesec::ctrl

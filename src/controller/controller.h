@@ -1,0 +1,281 @@
+// The LiveSec controller: centralized security management for the
+// Access-Switching layer (paper §III-IV). Developed against the NOX API in
+// the paper; here it is a self-contained event-driven C++ class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/certification.h"
+#include "controller/dhcp_pool.h"
+#include "controller/load_balancer.h"
+#include "controller/policy.h"
+#include "controller/routing_table.h"
+#include "controller/service_registry.h"
+#include "monitor/event_store.h"
+#include "monitor/monitoring.h"
+#include "openflow/channel.h"
+#include "topology/topology_graph.h"
+
+namespace livesec::sim {
+class Simulator;
+}
+
+namespace livesec::ctrl {
+
+/// Central LiveSec controller. One instance manages every AS switch via
+/// secure channels and implements:
+///  - topology & location discovery (LLDP + ARP packet-ins, §III.C.1-2)
+///  - the ARP directory proxy (§III.C.2)
+///  - abstract two-hop end-to-end routing (§III.C.3)
+///  - interactive policy enforcement incl. SE redirection and event-driven
+///    blocking (§IV.A)
+///  - the SE registry, certification and load balancing (§III.D.1, §IV.B)
+///  - service-aware monitoring, aggregate flow control and the event
+///    database feeding the WebUI (§IV.C-D)
+class Controller : public of::ControllerEndpoint {
+ public:
+  struct Config {
+    std::uint64_t cert_secret = 0x4C697665536563ull;  // "LiveSec"
+    SimTime host_timeout = 120 * kSecond;
+    SimTime se_liveness_timeout = 6 * kSecond;
+    SimTime housekeeping_interval = 2 * kSecond;
+    /// Idle timeout stamped on installed data-path entries; expiry produces
+    /// FlowRemoved -> FlowEnd events.
+    SimTime flow_idle_timeout = 10 * kSecond;
+    std::uint16_t flow_priority = 100;
+    std::uint16_t drop_priority = 200;  // security drops outrank forwarding
+    PolicyAction default_action = PolicyAction::kAllow;
+    LbStrategy lb_strategy = LbStrategy::kMinLoad;
+    /// Send LLDP discovery rounds periodically (0 = only on switch join).
+    SimTime lldp_interval = 0;
+    /// Poll switch statistics every interval (0 = off). Feeds the WebUI's
+    /// per-switch load view (paper §IV.D: "load condition of links").
+    SimTime stats_interval = 0;
+  };
+
+  Controller(sim::Simulator& sim, Config config);
+  Controller(sim::Simulator& sim);
+
+  // --- wiring ---------------------------------------------------------------
+  /// Registers the channel used to reach a switch. Must be called before the
+  /// switch connects. `kind` distinguishes OvS from OF Wi-Fi for the UI.
+  void attach_channel(DatapathId dpid, of::SecureChannel& channel,
+                      topo::NodeKind kind = topo::NodeKind::kAsSwitch);
+
+  /// Administrator override: declare a switch's Legacy-Switching uplink
+  /// port. LLDP discovery fills this automatically; explicit registration
+  /// lets deployments skip the discovery round.
+  void register_ls_port(DatapathId dpid, PortId port);
+  std::optional<PortId> ls_port(DatapathId dpid) const;
+
+  // --- of::ControllerEndpoint -------------------------------------------------
+  void handle_switch_connected(DatapathId dpid, const of::FeaturesReply& features) override;
+  void handle_switch_disconnected(DatapathId dpid) override;
+  void handle_switch_message(DatapathId dpid, const of::Message& message) override;
+
+  // --- administration ---------------------------------------------------------
+  PolicyTable& policies() { return policies_; }
+  const PolicyTable& policies() const { return policies_; }
+  mon::AggregateFlowControl& flow_control() { return flow_control_; }
+  CertificationAuthority& certification() { return ca_; }
+  LoadBalancer& load_balancer() { return lb_; }
+
+  /// Configures a SPAN/mirror port on a switch: every flow entry the
+  /// controller installs there gets an extra output to `port`, so a capture
+  /// host on that port records the traffic (paper abstract: "historical
+  /// traffic replay"). Affects entries installed after the call.
+  void set_mirror_port(DatapathId dpid, PortId port) { mirror_ports_[dpid] = port; }
+  void clear_mirror_port(DatapathId dpid) { mirror_ports_.erase(dpid); }
+
+  /// Enables the central DHCP service of the directory proxy: clients'
+  /// DISCOVER/REQUEST packet-ins are answered from this pool.
+  void enable_dhcp(Ipv4Address base, std::uint32_t size,
+                   SimTime lease_duration = 3600 * kSecond);
+  const DhcpPool* dhcp_pool() const { return dhcp_ ? &*dhcp_ : nullptr; }
+
+  /// Launches an LLDP probe round over every known switch port.
+  void run_discovery();
+
+  /// Starts periodic housekeeping (host/SE expiry; optional LLDP rounds).
+  void start_housekeeping();
+
+  /// Unblocks a previously blocked flow (admin action).
+  bool unblock_flow(const pkt::FlowKey& key);
+
+  // --- state queries (WebUI & tests) -----------------------------------------
+  const RoutingTable& routing() const { return routing_; }
+  const ServiceRegistry& services() const { return registry_; }
+  const topo::TopologyGraph& topology() const { return topology_; }
+  mon::EventStore& events() { return events_; }
+  const mon::EventStore& events() const { return events_; }
+  const mon::ServiceAwareMonitor& service_monitor() const { return monitor_; }
+  bool flow_blocked(const pkt::FlowKey& key) const { return blocked_flows_.contains(key); }
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Rolling per-switch load derived from StatsReply deltas.
+  struct SwitchLoad {
+    std::uint64_t total_packets = 0;  // cumulative matched packets
+    std::uint64_t total_bytes = 0;
+    double packets_per_second = 0;    // over the last poll interval
+    double bits_per_second = 0;
+    std::size_t flow_count = 0;
+    SimTime updated_at = 0;
+  };
+
+  /// Latest load snapshot for a switch (nullptr before the first poll).
+  const SwitchLoad* switch_load(DatapathId dpid) const;
+
+  /// Issues a StatsRequest to every connected switch.
+  void poll_stats();
+
+  struct Stats {
+    std::uint64_t packet_ins = 0;
+    std::uint64_t flows_installed = 0;
+    std::uint64_t flows_redirected = 0;
+    std::uint64_t flows_denied = 0;
+    std::uint64_t flows_blocked_by_event = 0;
+    std::uint64_t daemon_messages = 0;
+    std::uint64_t cert_rejections = 0;
+    std::uint64_t arp_proxied = 0;
+    std::uint64_t lldp_links = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct SwitchState {
+    of::SecureChannel* channel = nullptr;
+    topo::NodeKind kind = topo::NodeKind::kAsSwitch;
+    std::uint32_t num_ports = 0;
+    std::string name;
+    bool connected = false;
+  };
+
+  /// Controller-side record of one installed end-to-end flow.
+  struct FlowRecord {
+    pkt::FlowKey key;          // original 9-tuple (forward direction)
+    DatapathId ingress_dpid = 0;
+    PortId ingress_port = kInvalidPort;
+    std::uint32_t policy_id = 0;
+    std::vector<std::uint64_t> se_ids;  // traversed chain
+    MacAddress user;                     // originating host
+    SimTime started_at = 0;
+    bool blocked = false;
+    svc::l7::AppProtocol app = svc::l7::AppProtocol::kUnknown;
+    /// Every entry installed for this flow: (dpid, match, priority) so that
+    /// blocking / teardown can address them.
+    std::vector<std::pair<DatapathId, of::Match>> installed;
+    /// Steered variants of the key (dl_dst = SE MAC) registered in
+    /// steered_index_, kept for cleanup.
+    std::vector<pkt::FlowKey> steered_keys;
+    /// The reverse-session key registered in reverse_index_.
+    pkt::FlowKey reverse_key;
+    /// Actions of the ingress entry — used to release packets that raced to
+    /// the controller before the entries landed (duplicate packet-ins).
+    of::ActionList ingress_actions;
+    /// Cookie on the ingress entry (keys cookie_index_).
+    std::uint64_t cookie = 0;
+  };
+
+  // Message handlers.
+  void on_packet_in(DatapathId dpid, const of::PacketIn& pin);
+  void on_flow_removed(DatapathId dpid, const of::FlowRemoved& removed);
+  void handle_lldp(DatapathId dpid, PortId in_port, const pkt::Packet& packet);
+  void handle_daemon(DatapathId dpid, PortId in_port, const pkt::Packet& packet);
+  void handle_daemon_event(const SeRecord& se, const svc::EventMessage& event);
+  void handle_arp(DatapathId dpid, const of::PacketIn& pin);
+  void handle_dhcp(DatapathId dpid, const of::PacketIn& pin);
+  void handle_flow_setup(DatapathId dpid, const of::PacketIn& pin);
+
+  // Path installation (paper §III.C.3 and §IV.A).
+  struct PathSpec {
+    pkt::FlowKey key;
+    HostLocation src;
+    HostLocation dst;
+    std::vector<const SeRecord*> chain;
+    std::uint32_t buffer_id = of::PacketOut::kNoBuffer;
+    SimTime idle_timeout = 0;
+    bool notify_ingress_removal = false;
+    std::uint64_t cookie = 0;  // stamped on the ingress entry
+  };
+
+  /// Uninstalls every entry of one flow and forgets its record. Used when an
+  /// SE migrates or a host moves and the installed paths are stale.
+  void teardown_flow(const pkt::FlowKey& key);
+  /// Tears down every active flow steered through `se_id`.
+  std::size_t teardown_flows_through_se(std::uint64_t se_id);
+  /// Tears down every active flow whose user is `mac` (ingress side).
+  std::size_t teardown_flows_of_host(const MacAddress& mac);
+  /// Computes and pushes every FlowMod for one direction. Appends the
+  /// installed (dpid, match) pairs to `installed`. Returns false if a needed
+  /// LS port is unknown.
+  bool install_path(const PathSpec& spec,
+                    std::vector<std::pair<DatapathId, of::Match>>& installed,
+                    of::ActionList* ingress_actions = nullptr);
+
+  /// Installs a high-priority drop for `key` at its ingress switch.
+  void install_drop(DatapathId dpid, PortId in_port, const pkt::FlowKey& key);
+
+  /// Session-aware reverse key (ICMP echo request <-> reply, §III.C.3).
+  static pkt::FlowKey session_reverse(const pkt::FlowKey& key);
+
+  void raise(mon::EventType type, std::string subject, std::string detail, DatapathId dpid = 0,
+             std::uint64_t se_id = 0, std::uint8_t severity = 0, const pkt::FlowKey* flow = nullptr);
+
+  void housekeeping_tick();
+  void send_lldp_probes(DatapathId dpid);
+  void send_flow_mod(DatapathId dpid, of::FlowMod mod);
+
+  /// Teaches the legacy fabric where `mac` lives by injecting a gratuitous
+  /// ARP out of its switch's Legacy-Switching port. The directory proxy
+  /// suppresses host broadcasts (paper §III.C.2), so without priming the
+  /// fabric would flood every frame toward hosts that never send through it.
+  void prime_fabric_location(const MacAddress& mac, Ipv4Address ip, DatapathId dpid);
+
+  sim::Simulator* sim_;
+  Config config_;
+
+  std::map<DatapathId, SwitchState> switches_;
+  std::map<DatapathId, PortId> ls_ports_;
+
+  RoutingTable routing_;
+  ServiceRegistry registry_;
+  topo::TopologyGraph topology_;
+  PolicyTable policies_;
+  CertificationAuthority ca_;
+  LoadBalancer lb_;
+  mon::EventStore events_;
+  mon::ServiceAwareMonitor monitor_;
+  mon::AggregateFlowControl flow_control_;
+
+  /// Active flow records, keyed by forward 9-tuple.
+  std::unordered_map<pkt::FlowKey, FlowRecord> flows_;
+  /// Steered 9-tuple (dl_dst rewritten to SE MAC) -> original forward key,
+  /// so SE event reports map back to the user flow.
+  std::unordered_map<pkt::FlowKey, pkt::FlowKey> steered_index_;
+  /// Reverse key -> forward key (one record per session).
+  std::unordered_map<pkt::FlowKey, pkt::FlowKey> reverse_index_;
+  /// Flows banned by security events; re-blocked on any future packet-in.
+  std::set<pkt::FlowKey> blocked_flows_;
+  /// Cookie stamped on ingress entries -> forward key (FlowRemoved lookup).
+  std::unordered_map<std::uint64_t, pkt::FlowKey> cookie_index_;
+  std::uint64_t next_cookie_ = 1;
+
+  bool housekeeping_running_ = false;
+  SimTime next_lldp_ = 0;
+  /// Last fabric-priming time per MAC (re-primed after kPrimeInterval).
+  std::unordered_map<MacAddress, SimTime> primed_;
+  std::map<DatapathId, SwitchLoad> switch_loads_;
+  SimTime next_stats_poll_ = 0;
+  std::optional<DhcpPool> dhcp_;
+  std::map<DatapathId, PortId> mirror_ports_;
+  Stats stats_;
+};
+
+}  // namespace livesec::ctrl

@@ -1,0 +1,55 @@
+#include "controller/dhcp_pool.h"
+
+namespace livesec::ctrl {
+
+DhcpPool::DhcpPool(Ipv4Address base, std::uint32_t size, SimTime lease_duration)
+    : base_(base), size_(size), lease_duration_(lease_duration) {}
+
+std::optional<Ipv4Address> DhcpPool::allocate(const MacAddress& mac, SimTime now) {
+  if (auto it = leases_.find(mac); it != leases_.end()) {
+    it->second.expires = now + lease_duration_;  // renewal keeps the address
+    return it->second.ip;
+  }
+  expire(now);
+  // Scan from the cursor for a free address (wraps once).
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    const std::uint32_t offset = (next_offset_ + i) % size_;
+    const Ipv4Address candidate(base_.value() + offset);
+    if (!by_ip_.contains(candidate)) {
+      next_offset_ = (offset + 1) % size_;
+      leases_[mac] = Lease{candidate, now + lease_duration_};
+      by_ip_[candidate] = mac;
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Ipv4Address> DhcpPool::lookup(const MacAddress& mac, SimTime now) const {
+  auto it = leases_.find(mac);
+  if (it == leases_.end() || it->second.expires <= now) return std::nullopt;
+  return it->second.ip;
+}
+
+void DhcpPool::release(const MacAddress& mac) {
+  auto it = leases_.find(mac);
+  if (it == leases_.end()) return;
+  by_ip_.erase(it->second.ip);
+  leases_.erase(it);
+}
+
+std::size_t DhcpPool::expire(SimTime now) {
+  std::size_t reclaimed = 0;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expires <= now) {
+      by_ip_.erase(it->second.ip);
+      it = leases_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace livesec::ctrl

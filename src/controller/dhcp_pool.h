@@ -1,0 +1,53 @@
+// DHCP address pool backing the directory proxy's central DHCP service.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "common/types.h"
+
+namespace livesec::ctrl {
+
+/// Leases IPv4 addresses from a contiguous range. Allocation is stable: the
+/// same client MAC gets the same address while its lease lives (and on
+/// renewal), matching how hosts expect DHCP to behave across reconnects.
+class DhcpPool {
+ public:
+  /// Pool of `size` addresses starting at `base`.
+  DhcpPool(Ipv4Address base, std::uint32_t size, SimTime lease_duration = 3600 * kSecond);
+
+  /// Leases (or renews) an address for `mac`. Returns nullopt when the pool
+  /// is exhausted.
+  std::optional<Ipv4Address> allocate(const MacAddress& mac, SimTime now);
+
+  /// Address currently leased to `mac`, if any (and not expired).
+  std::optional<Ipv4Address> lookup(const MacAddress& mac, SimTime now) const;
+
+  /// Releases a lease explicitly.
+  void release(const MacAddress& mac);
+
+  /// Drops expired leases; returns the number reclaimed.
+  std::size_t expire(SimTime now);
+
+  std::size_t active_leases() const { return leases_.size(); }
+  std::uint32_t capacity() const { return size_; }
+  SimTime lease_duration() const { return lease_duration_; }
+
+ private:
+  struct Lease {
+    Ipv4Address ip;
+    SimTime expires;
+  };
+
+  Ipv4Address base_;
+  std::uint32_t size_;
+  SimTime lease_duration_;
+  std::uint32_t next_offset_ = 0;
+  std::unordered_map<MacAddress, Lease> leases_;
+  std::unordered_map<Ipv4Address, MacAddress> by_ip_;
+};
+
+}  // namespace livesec::ctrl

@@ -1,0 +1,75 @@
+#include "controller/policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace livesec::ctrl {
+
+const char* policy_action_name(PolicyAction action) {
+  switch (action) {
+    case PolicyAction::kAllow: return "allow";
+    case PolicyAction::kDeny: return "deny";
+    case PolicyAction::kRedirect: return "redirect";
+  }
+  return "?";
+}
+
+bool Policy::matches(const pkt::FlowKey& key) const {
+  if (src_mac && *src_mac != key.dl_src) return false;
+  if (dst_mac && *dst_mac != key.dl_dst) return false;
+  if (nw_src && !nw_src->same_subnet(key.nw_src, nw_src_prefix.value_or(32))) return false;
+  if (nw_dst && !nw_dst->same_subnet(key.nw_dst, nw_dst_prefix.value_or(32))) return false;
+  if (nw_proto && *nw_proto != key.nw_proto) return false;
+  if (tp_dst && *tp_dst != key.tp_dst) return false;
+  if (vlan_id && *vlan_id != key.vlan_id) return false;
+  return true;
+}
+
+std::string Policy::to_string() const {
+  std::ostringstream out;
+  out << "policy#" << id << " '" << name << "' prio=" << priority << " "
+      << policy_action_name(action);
+  if (action == PolicyAction::kRedirect) {
+    out << " via [";
+    for (std::size_t i = 0; i < service_chain.size(); ++i) {
+      if (i) out << ",";
+      out << svc::service_type_name(service_chain[i]);
+    }
+    out << "] " << (granularity == LbGranularity::kPerFlow ? "per-flow" : "per-user");
+  }
+  return out.str();
+}
+
+std::uint32_t PolicyTable::add(Policy policy) {
+  if (policy.id == 0) policy.id = next_id_++;
+  else next_id_ = std::max(next_id_, policy.id + 1);
+  const std::uint32_t id = policy.id;
+  // Insert before the first strictly lower priority to keep stable order.
+  auto pos = std::find_if(policies_.begin(), policies_.end(),
+                          [&](const Policy& p) { return p.priority < policy.priority; });
+  policies_.insert(pos, std::move(policy));
+  return id;
+}
+
+bool PolicyTable::remove(std::uint32_t id) {
+  auto it = std::find_if(policies_.begin(), policies_.end(),
+                         [id](const Policy& p) { return p.id == id; });
+  if (it == policies_.end()) return false;
+  policies_.erase(it);
+  return true;
+}
+
+const Policy* PolicyTable::find(std::uint32_t id) const {
+  auto it = std::find_if(policies_.begin(), policies_.end(),
+                         [id](const Policy& p) { return p.id == id; });
+  return it == policies_.end() ? nullptr : &*it;
+}
+
+const Policy* PolicyTable::lookup(const pkt::FlowKey& key) const {
+  for (const Policy& p : policies_) {
+    if (p.matches(key)) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace livesec::ctrl

@@ -1,0 +1,87 @@
+// The global policy table (paper §IV.A: "The LiveSec controller keeps a
+// global policy table that is pre-configured and managed by the network
+// administrator. The policy table describes whether or which security
+// service element should be traversed for various end-to-end flows.").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "packet/flow_key.h"
+#include "services/message.h"
+
+namespace livesec::ctrl {
+
+/// What to do with a matching flow.
+enum class PolicyAction : std::uint8_t {
+  kAllow,     // forward directly (two-hop abstract routing)
+  kDeny,      // install a drop entry at the ingress
+  kRedirect,  // steer through the service chain, then forward
+};
+
+const char* policy_action_name(PolicyAction action);
+
+/// Load-balancing granularity for redirect policies (paper §IV.B: flow-grain
+/// vs user-grain).
+enum class LbGranularity : std::uint8_t { kPerFlow, kPerUser };
+
+/// One administrator policy. All present predicates must hold (logical AND);
+/// absent predicates match anything.
+struct Policy {
+  std::uint32_t id = 0;
+  std::string name;
+  /// Higher wins; ties broken by insertion order.
+  std::int32_t priority = 0;
+
+  // Predicates over the flow's 9-tuple.
+  std::optional<MacAddress> src_mac;
+  std::optional<MacAddress> dst_mac;
+  std::optional<Ipv4Address> nw_src;
+  std::optional<std::uint8_t> nw_src_prefix;  // with nw_src; default 32
+  std::optional<Ipv4Address> nw_dst;
+  std::optional<std::uint8_t> nw_dst_prefix;
+  std::optional<std::uint8_t> nw_proto;
+  std::optional<std::uint16_t> tp_dst;
+  std::optional<std::uint16_t> vlan_id;
+
+  PolicyAction action = PolicyAction::kAllow;
+  /// Service types the flow must traverse, in order (redirect only).
+  std::vector<svc::ServiceType> service_chain;
+  LbGranularity granularity = LbGranularity::kPerFlow;
+
+  bool matches(const pkt::FlowKey& key) const;
+  std::string to_string() const;
+};
+
+/// Ordered policy collection with priority lookup.
+class PolicyTable {
+ public:
+  /// The action applied when no policy matches.
+  explicit PolicyTable(PolicyAction default_action = PolicyAction::kAllow)
+      : default_action_(default_action) {}
+
+  /// Adds a policy; id 0 gets an auto-assigned id. Returns the id.
+  std::uint32_t add(Policy policy);
+  bool remove(std::uint32_t id);
+  const Policy* find(std::uint32_t id) const;
+
+  /// The winning policy for a flow, or nullptr (=> default action).
+  const Policy* lookup(const pkt::FlowKey& key) const;
+
+  PolicyAction default_action() const { return default_action_; }
+  void set_default_action(PolicyAction action) { default_action_ = action; }
+
+  std::size_t size() const { return policies_.size(); }
+  const std::vector<Policy>& policies() const { return policies_; }
+
+ private:
+  PolicyAction default_action_;
+  std::uint32_t next_id_ = 1;
+  std::vector<Policy> policies_;  // kept sorted by (priority desc, insertion asc)
+};
+
+}  // namespace livesec::ctrl

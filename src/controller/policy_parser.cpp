@@ -1,0 +1,245 @@
+#include "controller/policy_parser.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace livesec::ctrl {
+
+namespace {
+
+bool parse_u16(std::string_view text, std::uint16_t& out) {
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value > 0xFFFF) return false;
+  out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+bool parse_proto(std::string_view text, std::uint8_t& out) {
+  if (text == "tcp") {
+    out = 6;
+  } else if (text == "udp") {
+    out = 17;
+  } else if (text == "icmp") {
+    out = 1;
+  } else {
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size() || value > 255) return false;
+    out = static_cast<std::uint8_t>(value);
+  }
+  return true;
+}
+
+/// Parses "10.0.0.0/24" or "10.0.0.1" into address + prefix.
+bool parse_cidr(std::string_view text, Ipv4Address& addr, std::uint8_t& prefix) {
+  prefix = 32;
+  std::string_view ip_part = text;
+  if (const auto slash = text.find('/'); slash != std::string_view::npos) {
+    ip_part = text.substr(0, slash);
+    const std::string_view len = text.substr(slash + 1);
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(len.data(), len.data() + len.size(), value);
+    if (ec != std::errc() || ptr != len.data() + len.size() || value > 32) return false;
+    prefix = static_cast<std::uint8_t>(value);
+  }
+  const auto parsed = Ipv4Address::parse(ip_part);
+  if (!parsed) return false;
+  addr = *parsed;
+  return true;
+}
+
+bool parse_service(std::string_view text, svc::ServiceType& out) {
+  if (text == "ids") {
+    out = svc::ServiceType::kIntrusionDetection;
+  } else if (text == "l7") {
+    out = svc::ServiceType::kProtocolIdentification;
+  } else if (text == "scan") {
+    out = svc::ServiceType::kVirusScan;
+  } else if (text == "content") {
+    out = svc::ServiceType::kContentInspection;
+  } else if (text == "firewall") {
+    out = svc::ServiceType::kFirewall;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* service_token(svc::ServiceType type) {
+  switch (type) {
+    case svc::ServiceType::kIntrusionDetection: return "ids";
+    case svc::ServiceType::kProtocolIdentification: return "l7";
+    case svc::ServiceType::kVirusScan: return "scan";
+    case svc::ServiceType::kContentInspection: return "content";
+    case svc::ServiceType::kFirewall: return "firewall";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<Policy> parse_policies(std::string_view text, std::vector<std::string>& errors) {
+  std::vector<Policy> policies;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string name, action;
+    std::int32_t priority = 0;
+    if (!(fields >> name)) continue;  // blank line
+    auto fail = [&](const std::string& why) {
+      errors.push_back("line " + std::to_string(line_no) + ": " + why);
+    };
+    if (!(fields >> priority >> action)) {
+      fail("expected '<name> <priority> <action> ...'");
+      continue;
+    }
+    Policy policy;
+    policy.name = name;
+    policy.priority = priority;
+    if (action == "allow") {
+      policy.action = PolicyAction::kAllow;
+    } else if (action == "deny") {
+      policy.action = PolicyAction::kDeny;
+    } else if (action == "redirect") {
+      policy.action = PolicyAction::kRedirect;
+    } else {
+      fail("unknown action '" + action + "'");
+      continue;
+    }
+
+    bool ok = true;
+    std::string token;
+    while (ok && fields >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        fail("expected key=value, got '" + token + "'");
+        ok = false;
+        break;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "src_mac" || key == "dst_mac") {
+        const auto mac = MacAddress::parse(value);
+        if (!mac) {
+          fail("bad MAC '" + value + "'");
+          ok = false;
+          break;
+        }
+        (key == "src_mac" ? policy.src_mac : policy.dst_mac) = *mac;
+      } else if (key == "src_ip" || key == "dst_ip") {
+        Ipv4Address addr;
+        std::uint8_t prefix = 32;
+        if (!parse_cidr(value, addr, prefix)) {
+          fail("bad CIDR '" + value + "'");
+          ok = false;
+          break;
+        }
+        if (key == "src_ip") {
+          policy.nw_src = addr;
+          policy.nw_src_prefix = prefix;
+        } else {
+          policy.nw_dst = addr;
+          policy.nw_dst_prefix = prefix;
+        }
+      } else if (key == "proto") {
+        std::uint8_t proto = 0;
+        if (!parse_proto(value, proto)) {
+          fail("bad proto '" + value + "'");
+          ok = false;
+          break;
+        }
+        policy.nw_proto = proto;
+      } else if (key == "dport") {
+        std::uint16_t port = 0;
+        if (!parse_u16(value, port)) {
+          fail("bad dport '" + value + "'");
+          ok = false;
+          break;
+        }
+        policy.tp_dst = port;
+      } else if (key == "vlan") {
+        std::uint16_t vlan = 0;
+        if (!parse_u16(value, vlan)) {
+          fail("bad vlan '" + value + "'");
+          ok = false;
+          break;
+        }
+        policy.vlan_id = vlan;
+      } else if (key == "chain") {
+        std::size_t start = 0;
+        while (start <= value.size()) {
+          const auto comma = value.find(',', start);
+          const std::string item = comma == std::string::npos
+                                       ? value.substr(start)
+                                       : value.substr(start, comma - start);
+          svc::ServiceType service;
+          if (!parse_service(item, service)) {
+            fail("unknown service '" + item + "'");
+            ok = false;
+            break;
+          }
+          policy.service_chain.push_back(service);
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      } else if (key == "granularity") {
+        if (value == "flow") {
+          policy.granularity = LbGranularity::kPerFlow;
+        } else if (value == "user") {
+          policy.granularity = LbGranularity::kPerUser;
+        } else {
+          fail("bad granularity '" + value + "'");
+          ok = false;
+          break;
+        }
+      } else {
+        fail("unknown key '" + key + "'");
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (policy.action == PolicyAction::kRedirect && policy.service_chain.empty()) {
+      fail("redirect policy needs chain=");
+      continue;
+    }
+    policies.push_back(std::move(policy));
+  }
+  return policies;
+}
+
+std::string format_policy(const Policy& policy) {
+  std::ostringstream out;
+  out << policy.name << " " << policy.priority << " " << policy_action_name(policy.action);
+  if (policy.src_mac) out << " src_mac=" << policy.src_mac->to_string();
+  if (policy.dst_mac) out << " dst_mac=" << policy.dst_mac->to_string();
+  if (policy.nw_src) {
+    out << " src_ip=" << policy.nw_src->to_string() << "/"
+        << static_cast<int>(policy.nw_src_prefix.value_or(32));
+  }
+  if (policy.nw_dst) {
+    out << " dst_ip=" << policy.nw_dst->to_string() << "/"
+        << static_cast<int>(policy.nw_dst_prefix.value_or(32));
+  }
+  if (policy.nw_proto) out << " proto=" << static_cast<int>(*policy.nw_proto);
+  if (policy.tp_dst) out << " dport=" << *policy.tp_dst;
+  if (policy.vlan_id) out << " vlan=" << *policy.vlan_id;
+  if (!policy.service_chain.empty()) {
+    out << " chain=";
+    for (std::size_t i = 0; i < policy.service_chain.size(); ++i) {
+      if (i) out << ",";
+      out << service_token(policy.service_chain[i]);
+    }
+  }
+  if (policy.action == PolicyAction::kRedirect) {
+    out << " granularity=" << (policy.granularity == LbGranularity::kPerUser ? "user" : "flow");
+  }
+  return out.str();
+}
+
+}  // namespace livesec::ctrl

@@ -1,0 +1,36 @@
+// Textual policy configuration: the administrator-facing format behind the
+// paper's "global policy table that is pre-configured and managed by the
+// network administrator" (§IV.A).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "controller/policy.h"
+
+namespace livesec::ctrl {
+
+/// Parses a policy configuration document, one policy per line:
+///
+///   <name> <priority> <action> [<predicate-or-option> ...]
+///
+/// actions:    allow | deny | redirect
+/// predicates: src_mac=aa:bb:cc:dd:ee:ff   dst_mac=...
+///             src_ip=10.0.0.0/24          dst_ip=10.1.2.3
+///             proto=tcp|udp|icmp|<num>    dport=80     vlan=42
+/// options:    chain=ids,l7,scan,content,firewall   (redirect only)
+///             granularity=flow|user
+///
+/// '#' starts a comment; blank lines are skipped. Malformed lines are
+/// reported in `errors` and skipped. Example:
+///
+///   web-via-ids 10 redirect proto=tcp dport=80 chain=ids granularity=flow
+///   quarantine  90 deny     src_mac=02:00:00:00:00:05
+std::vector<Policy> parse_policies(std::string_view text, std::vector<std::string>& errors);
+
+/// Renders a policy back into the textual format (round-trips with
+/// parse_policies for every supported field).
+std::string format_policy(const Policy& policy);
+
+}  // namespace livesec::ctrl

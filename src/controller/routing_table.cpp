@@ -1,0 +1,92 @@
+#include "controller/routing_table.h"
+
+namespace livesec::ctrl {
+
+bool RoutingTable::learn(const MacAddress& mac, Ipv4Address ip, DatapathId dpid, PortId port,
+                         SimTime now) {
+  auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) {
+    HostLocation loc;
+    loc.mac = mac;
+    loc.ip = ip;
+    loc.dpid = dpid;
+    loc.port = port;
+    loc.first_seen = now;
+    loc.last_seen = now;
+    by_mac_.emplace(mac, loc);
+    if (!ip.is_zero()) by_ip_[ip] = mac;
+    return true;
+  }
+  HostLocation& loc = it->second;
+  const bool moved = loc.dpid != dpid || loc.port != port;
+  if (!ip.is_zero() && loc.ip != ip) {
+    by_ip_.erase(loc.ip);
+    loc.ip = ip;
+    by_ip_[ip] = mac;
+  }
+  loc.dpid = dpid;
+  loc.port = port;
+  loc.last_seen = now;
+  return moved;
+}
+
+void RoutingTable::touch(const MacAddress& mac, SimTime now) {
+  auto it = by_mac_.find(mac);
+  if (it != by_mac_.end()) it->second.last_seen = now;
+}
+
+const HostLocation* RoutingTable::find(const MacAddress& mac) const {
+  auto it = by_mac_.find(mac);
+  return it == by_mac_.end() ? nullptr : &it->second;
+}
+
+const HostLocation* RoutingTable::find_by_ip(Ipv4Address ip) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return nullptr;
+  return find(it->second);
+}
+
+bool RoutingTable::remove(const MacAddress& mac) {
+  auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return false;
+  by_ip_.erase(it->second.ip);
+  by_mac_.erase(it);
+  return true;
+}
+
+std::vector<HostLocation> RoutingTable::expire(SimTime now) {
+  std::vector<HostLocation> removed;
+  for (auto it = by_mac_.begin(); it != by_mac_.end();) {
+    if (timeout_ > 0 && now - it->second.last_seen >= timeout_) {
+      removed.push_back(it->second);
+      by_ip_.erase(it->second.ip);
+      it = by_mac_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<HostLocation> RoutingTable::remove_switch(DatapathId dpid) {
+  std::vector<HostLocation> removed;
+  for (auto it = by_mac_.begin(); it != by_mac_.end();) {
+    if (it->second.dpid == dpid) {
+      removed.push_back(it->second);
+      by_ip_.erase(it->second.ip);
+      it = by_mac_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<HostLocation> RoutingTable::all() const {
+  std::vector<HostLocation> out;
+  out.reserve(by_mac_.size());
+  for (const auto& [mac, loc] : by_mac_) out.push_back(loc);
+  return out;
+}
+
+}  // namespace livesec::ctrl

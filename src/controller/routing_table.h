@@ -1,0 +1,64 @@
+// The controller's routing table: where every host lives
+// (paper §III.C.2: "LiveSec controller will record this location information
+// of the fresh host in the routing table ... removed ... due to ARP packet
+// timeout").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "common/types.h"
+
+namespace livesec::ctrl {
+
+/// Location record of one periphery host (user machine, SE VM or gateway).
+struct HostLocation {
+  MacAddress mac;
+  Ipv4Address ip;
+  DatapathId dpid = 0;    // AS switch the host hangs off
+  PortId port = kInvalidPort;  // the Network-Periphery port on that switch
+  SimTime first_seen = 0;
+  SimTime last_seen = 0;
+};
+
+/// MAC-keyed host location map with IP secondary index and idle expiry.
+class RoutingTable {
+ public:
+  /// Hosts idle longer than this are expired by expire(); mirrors the ARP
+  /// cache timeout of the paper.
+  explicit RoutingTable(SimTime host_timeout = 120 * kSecond) : timeout_(host_timeout) {}
+
+  /// Inserts or refreshes a host; returns true when the host is new or moved
+  /// to a different attachment point (the caller raises join/move events).
+  bool learn(const MacAddress& mac, Ipv4Address ip, DatapathId dpid, PortId port, SimTime now);
+
+  /// Refreshes last_seen only (any data-plane evidence of liveness).
+  void touch(const MacAddress& mac, SimTime now);
+
+  const HostLocation* find(const MacAddress& mac) const;
+  const HostLocation* find_by_ip(Ipv4Address ip) const;
+
+  /// Removes a specific host (e.g. explicit leave). Returns true if present.
+  bool remove(const MacAddress& mac);
+
+  /// Removes all hosts idle past the timeout; returns the removed records.
+  std::vector<HostLocation> expire(SimTime now);
+
+  /// Removes all hosts attached to a dead switch; returns removed records.
+  std::vector<HostLocation> remove_switch(DatapathId dpid);
+
+  std::size_t size() const { return by_mac_.size(); }
+  std::vector<HostLocation> all() const;
+
+ private:
+  SimTime timeout_;
+  std::unordered_map<MacAddress, HostLocation> by_mac_;
+  std::unordered_map<Ipv4Address, MacAddress> by_ip_;
+};
+
+}  // namespace livesec::ctrl

@@ -1,0 +1,75 @@
+#include "monitor/event.h"
+
+#include <sstream>
+
+namespace livesec::mon {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kSwitchJoin: return "switch_join";
+    case EventType::kSwitchLeave: return "switch_leave";
+    case EventType::kHostJoin: return "host_join";
+    case EventType::kHostLeave: return "host_leave";
+    case EventType::kSeOnline: return "se_online";
+    case EventType::kSeOffline: return "se_offline";
+    case EventType::kLinkDiscovered: return "link_discovered";
+    case EventType::kFlowStart: return "flow_start";
+    case EventType::kFlowEnd: return "flow_end";
+    case EventType::kAttackDetected: return "attack_detected";
+    case EventType::kFlowBlocked: return "flow_blocked";
+    case EventType::kProtocolIdentified: return "protocol_identified";
+    case EventType::kVirusFound: return "virus_found";
+    case EventType::kContentViolation: return "content_violation";
+    case EventType::kCertificationRejected: return "certification_rejected";
+    case EventType::kLoadReport: return "load_report";
+    case EventType::kPolicyDenied: return "policy_denied";
+    case EventType::kAggregateLimitHit: return "aggregate_limit_hit";
+    case EventType::kSeMigrated: return "se_migrated";
+    case EventType::kHostMoved: return "host_moved";
+  }
+  return "?";
+}
+
+std::string NetworkEvent::to_string() const {
+  std::ostringstream out;
+  out << format_time(time) << " [" << event_type_name(type) << "] " << subject;
+  if (!detail.empty()) out << " (" << detail << ")";
+  if (severity > 0) out << " sev=" << static_cast<int>(severity);
+  return out.str();
+}
+
+namespace {
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string NetworkEvent::to_json() const {
+  std::ostringstream out;
+  out << "{\"id\":" << id << ",\"t\":" << time << ",\"type\":\"" << event_type_name(type)
+      << "\",\"subject\":\"" << escape(subject) << "\",\"detail\":\"" << escape(detail)
+      << "\",\"dpid\":" << dpid << ",\"se\":" << se_id << ",\"sev\":" << static_cast<int>(severity)
+      << "}";
+  return out.str();
+}
+
+}  // namespace livesec::mon

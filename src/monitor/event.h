@@ -1,0 +1,60 @@
+// Network event model: everything the LiveSec WebUI displays and replays
+// (paper §IV.D: "user join and leave, load condition of links and various
+// service elements, which user is accessing which application service,
+// where attacks happen, and so on").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "packet/flow_key.h"
+
+namespace livesec::mon {
+
+enum class EventType : std::uint8_t {
+  kSwitchJoin = 1,
+  kSwitchLeave,
+  kHostJoin,
+  kHostLeave,
+  kSeOnline,
+  kSeOffline,
+  kLinkDiscovered,
+  kFlowStart,
+  kFlowEnd,
+  kAttackDetected,
+  kFlowBlocked,
+  kProtocolIdentified,
+  kVirusFound,
+  kContentViolation,
+  kCertificationRejected,
+  kLoadReport,
+  kPolicyDenied,
+  kAggregateLimitHit,
+  kSeMigrated,
+  kHostMoved,
+};
+
+const char* event_type_name(EventType type);
+
+/// One record in the event database.
+struct NetworkEvent {
+  std::uint64_t id = 0;  // assigned by the EventStore, monotonically
+  SimTime time = 0;
+  EventType type = EventType::kFlowStart;
+  /// Primary subject: host MAC, SE id, switch name — display handle.
+  std::string subject;
+  /// Free-form detail (rule name, protocol, reason).
+  std::string detail;
+  DatapathId dpid = 0;
+  std::uint64_t se_id = 0;
+  std::uint8_t severity = 0;
+  pkt::FlowKey flow;
+
+  /// Single-line rendering for logs and the ASCII UI.
+  std::string to_string() const;
+  /// JSON object rendering for the WebUI data feed.
+  std::string to_json() const;
+};
+
+}  // namespace livesec::mon

@@ -1,0 +1,104 @@
+#include "monitor/monitoring.h"
+
+#include <algorithm>
+
+namespace livesec::mon {
+
+void ServiceAwareMonitor::record_flow_identified(const MacAddress& user,
+                                                 svc::l7::AppProtocol proto) {
+  AppUsage& usage = per_user_[user][proto];
+  ++usage.flows;
+  ++usage.active_flows;
+}
+
+void ServiceAwareMonitor::record_flow_ended(const MacAddress& user, svc::l7::AppProtocol proto) {
+  auto user_it = per_user_.find(user);
+  if (user_it == per_user_.end()) return;
+  auto app_it = user_it->second.find(proto);
+  if (app_it == user_it->second.end()) return;
+  if (app_it->second.active_flows > 0) --app_it->second.active_flows;
+}
+
+void ServiceAwareMonitor::record_flow_traffic(const MacAddress& user, std::uint64_t packets,
+                                              std::uint64_t bytes) {
+  TrafficTotals& totals = traffic_[user];
+  ++totals.flows;
+  totals.packets += packets;
+  totals.bytes += bytes;
+}
+
+const ServiceAwareMonitor::TrafficTotals* ServiceAwareMonitor::traffic(
+    const MacAddress& user) const {
+  auto it = traffic_.find(user);
+  return it == traffic_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<MacAddress, ServiceAwareMonitor::TrafficTotals>>
+ServiceAwareMonitor::top_talkers(std::size_t limit) const {
+  std::vector<std::pair<MacAddress, TrafficTotals>> ranked(traffic_.begin(), traffic_.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.bytes != b.second.bytes) return a.second.bytes > b.second.bytes;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (ranked.size() > limit) ranked.resize(limit);
+  return ranked;
+}
+
+std::optional<svc::l7::AppProtocol> ServiceAwareMonitor::dominant_app(
+    const MacAddress& user) const {
+  auto it = per_user_.find(user);
+  if (it == per_user_.end()) return std::nullopt;
+  std::optional<svc::l7::AppProtocol> best;
+  std::uint64_t best_active = 0;
+  for (const auto& [proto, usage] : it->second) {
+    if (usage.active_flows > best_active) {
+      best_active = usage.active_flows;
+      best = proto;
+    }
+  }
+  return best;
+}
+
+const std::map<svc::l7::AppProtocol, ServiceAwareMonitor::AppUsage>* ServiceAwareMonitor::usage(
+    const MacAddress& user) const {
+  auto it = per_user_.find(user);
+  return it == per_user_.end() ? nullptr : &it->second;
+}
+
+std::vector<MacAddress> ServiceAwareMonitor::users() const {
+  std::vector<MacAddress> out;
+  out.reserve(per_user_.size());
+  for (const auto& [mac, usage] : per_user_) out.push_back(mac);
+  return out;
+}
+
+std::map<svc::l7::AppProtocol, std::uint64_t> ServiceAwareMonitor::network_distribution() const {
+  std::map<svc::l7::AppProtocol, std::uint64_t> out;
+  for (const auto& [mac, apps] : per_user_) {
+    for (const auto& [proto, usage] : apps) out[proto] += usage.flows;
+  }
+  return out;
+}
+
+void AggregateFlowControl::set_limit(svc::l7::AppProtocol proto, std::uint32_t max_active_flows) {
+  limits_[proto] = max_active_flows;
+}
+
+std::optional<std::uint32_t> AggregateFlowControl::limit(svc::l7::AppProtocol proto) const {
+  auto it = limits_.find(proto);
+  if (it == limits_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AggregateFlowControl::admits(const ServiceAwareMonitor& monitor, const MacAddress& user,
+                                  svc::l7::AppProtocol proto) const {
+  auto it = limits_.find(proto);
+  if (it == limits_.end()) return true;
+  const auto* usage = monitor.usage(user);
+  if (usage == nullptr) return true;
+  auto app_it = usage->find(proto);
+  if (app_it == usage->end()) return true;
+  return app_it->second.active_flows < it->second;
+}
+
+}  // namespace livesec::mon

@@ -1,0 +1,77 @@
+#include "monitor/trace.h"
+
+#include "packet/buffer.h"
+#include "packet/flow_key.h"
+
+namespace livesec::mon {
+
+namespace {
+constexpr std::uint32_t kTraceMagic = 0x4C545243;  // "LTRC"
+constexpr std::uint8_t kTraceVersion = 1;
+}  // namespace
+
+void Trace::append(SimTime time, pkt::PacketPtr packet) {
+  total_bytes_ += packet->wire_size();
+  records_.push_back(TraceRecord{time, std::move(packet)});
+}
+
+std::vector<TraceRecord> Trace::slice(SimTime from, SimTime to) const {
+  std::vector<TraceRecord> out;
+  for (const auto& record : records_) {
+    if (record.time >= from && record.time < to) out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Trace::serialize() const {
+  pkt::BufferWriter w;
+  w.u32(kTraceMagic);
+  w.u8(kTraceVersion);
+  w.u64(records_.size());
+  for (const auto& record : records_) {
+    w.u64(static_cast<std::uint64_t>(record.time));
+    const auto bytes = record.packet->serialize();
+    w.u32(static_cast<std::uint32_t>(bytes.size()));
+    w.bytes(bytes);
+  }
+  return w.take();
+}
+
+std::optional<Trace> Trace::deserialize(std::span<const std::uint8_t> blob) {
+  pkt::BufferReader r(blob);
+  if (r.u32() != kTraceMagic || r.u8() != kTraceVersion) return std::nullopt;
+  const std::uint64_t count = r.u64();
+  Trace trace;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const SimTime time = static_cast<SimTime>(r.u64());
+    const std::uint32_t length = r.u32();
+    const auto bytes = r.bytes(length);
+    if (!r.ok()) return std::nullopt;
+    auto packet = pkt::Packet::parse(bytes);
+    if (!packet) return std::nullopt;
+    trace.append(time, pkt::finalize(std::move(*packet)));
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return trace;
+}
+
+std::vector<svc::ids::Alert> Trace::replay_into(svc::ids::IdsEngine& engine) const {
+  std::vector<svc::ids::Alert> alerts;
+  for (const auto& record : records_) {
+    auto fired = engine.inspect(*record.packet);
+    alerts.insert(alerts.end(), fired.begin(), fired.end());
+  }
+  return alerts;
+}
+
+std::map<svc::l7::AppProtocol, std::size_t> Trace::classify_flows(
+    svc::l7::L7Classifier& classifier) const {
+  std::map<svc::l7::AppProtocol, std::size_t> census;
+  for (const auto& record : records_) {
+    const auto result = classifier.classify(*record.packet);
+    if (result.fresh) ++census[result.proto];
+  }
+  return census;
+}
+
+}  // namespace livesec::mon

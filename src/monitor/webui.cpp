@@ -1,0 +1,141 @@
+#include "monitor/webui.h"
+
+#include <sstream>
+
+namespace livesec::mon {
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string WebUi::snapshot_json(SimTime events_from, SimTime events_to) const {
+  const auto& topo = controller_->topology();
+  const auto& monitor = controller_->service_monitor();
+  std::ostringstream out;
+  out << "{";
+
+  out << "\"switches\":[";
+  bool first = true;
+  for (DatapathId dpid : topo.switch_ids()) {
+    const auto* info = topo.switch_info(dpid);
+    if (!first) out << ",";
+    out << "{\"dpid\":" << dpid << ",\"name\":\"" << json_escape(info->name) << "\",\"kind\":\""
+        << topo::node_kind_name(info->kind) << "\"";
+    if (const auto* load = controller_->switch_load(dpid)) {
+      out << ",\"bps\":" << static_cast<std::uint64_t>(load->bits_per_second)
+          << ",\"pps\":" << static_cast<std::uint64_t>(load->packets_per_second)
+          << ",\"flows\":" << load->flow_count;
+    }
+    out << "}";
+    first = false;
+  }
+  out << "],";
+
+  out << "\"nodes\":[";
+  first = true;
+  for (const auto& [key, node] : topo.nodes()) {
+    if (!first) out << ",";
+    out << "{\"id\":\"" << json_escape(key) << "\",\"name\":\"" << json_escape(node.name)
+        << "\",\"kind\":\"" << topo::node_kind_name(node.kind) << "\",\"dpid\":" << node.dpid
+        << ",\"port\":" << node.port << "}";
+    first = false;
+  }
+  out << "],";
+
+  out << "\"users\":[";
+  first = true;
+  for (const MacAddress& user : monitor.users()) {
+    const auto app = monitor.dominant_app(user);
+    if (!first) out << ",";
+    out << "{\"mac\":\"" << user.to_string() << "\",\"app\":\""
+        << (app ? svc::l7::app_protocol_name(*app) : "idle") << "\"}";
+    first = false;
+  }
+  out << "],";
+
+  out << "\"service_elements\":[";
+  first = true;
+  for (const ctrl::SeRecord* se : controller_->services().all()) {
+    if (!first) out << ",";
+    out << "{\"id\":" << se->se_id << ",\"service\":\"" << svc::service_type_name(se->service)
+        << "\",\"dpid\":" << se->dpid << ",\"cpu\":" << static_cast<int>(se->last_report.cpu_percent)
+        << ",\"pps\":" << se->last_report.packets_per_second
+        << ",\"queued\":" << se->last_report.queued_packets << "}";
+    first = false;
+  }
+  out << "],";
+
+  out << "\"full_mesh\":" << (topo.full_mesh() ? "true" : "false") << ",";
+  out << "\"events\":" << controller_->events().to_json(events_from, events_to);
+  out << "}";
+  return out.str();
+}
+
+std::string WebUi::snapshot_text(SimTime events_from, SimTime events_to) const {
+  const auto& topo = controller_->topology();
+  const auto& monitor = controller_->service_monitor();
+  std::ostringstream out;
+
+  out << "=== LiveSec topology ===\n";
+  for (DatapathId dpid : topo.switch_ids()) {
+    const auto* info = topo.switch_info(dpid);
+    out << "  [" << topo::node_kind_name(info->kind) << "] " << info->name << " (dpid " << dpid
+        << ")";
+    if (const auto* load = controller_->switch_load(dpid); load && load->updated_at > 0) {
+      out << " load=" << format_rate_bps(load->bits_per_second) << " flows=" << load->flow_count;
+    }
+    out << "\n";
+  }
+  out << "  full-mesh AS layer: " << (topo.full_mesh() ? "yes" : "no") << "\n";
+
+  out << "--- periphery ---\n";
+  for (const auto& [key, node] : topo.nodes()) {
+    out << "  [" << topo::node_kind_name(node.kind) << "] " << node.name << " @ dpid "
+        << node.dpid << " port " << node.port << "\n";
+  }
+
+  out << "--- users ---\n";
+  for (const MacAddress& user : monitor.users()) {
+    const auto app = monitor.dominant_app(user);
+    out << "  " << user.to_string() << ": "
+        << (app ? svc::l7::app_protocol_name(*app) : "idle") << "\n";
+  }
+
+  out << "--- top talkers ---\n";
+  for (const auto& [mac, totals] : monitor.top_talkers(5)) {
+    out << "  " << mac.to_string() << ": " << totals.bytes << " bytes in " << totals.flows
+        << " flows\n";
+  }
+
+  out << "--- service elements ---\n";
+  for (const ctrl::SeRecord* se : controller_->services().all()) {
+    out << "  se" << se->se_id << " " << svc::service_type_name(se->service) << " cpu="
+        << static_cast<int>(se->last_report.cpu_percent)
+        << "% pps=" << se->last_report.packets_per_second << "\n";
+  }
+
+  out << "--- events ---\n";
+  controller_->events().replay(events_from, events_to, [&out](const NetworkEvent& e) {
+    out << "  " << e.to_string() << "\n";
+  });
+  return out.str();
+}
+
+std::string WebUi::replay_text(SimTime from, SimTime to) const {
+  std::ostringstream out;
+  out << "=== history replay [" << format_time(from) << ", " << format_time(to) << ") ===\n";
+  controller_->events().replay(from, to, [&out](const NetworkEvent& e) {
+    out << "  " << e.to_string() << "\n";
+  });
+  return out.str();
+}
+
+}  // namespace livesec::mon

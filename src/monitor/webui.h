@@ -1,0 +1,35 @@
+// The LiveSec WebUI data backend (paper §IV.D / Figures 5, 7, 8): renders
+// live topology + event snapshots as JSON (the Flash front-end's data feed)
+// and as ASCII (terminal display), plus history replay.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "controller/controller.h"
+
+namespace livesec::mon {
+
+/// Stateless renderer over a controller's live state and event database.
+class WebUi {
+ public:
+  explicit WebUi(const ctrl::Controller& controller) : controller_(&controller) {}
+
+  /// Full JSON snapshot: switches, periphery nodes, links, users with their
+  /// dominant application, service elements with load, and the events in
+  /// [events_from, events_to) — what the browser polls periodically.
+  std::string snapshot_json(SimTime events_from, SimTime events_to) const;
+
+  /// Human-readable terminal rendering of the same snapshot (the examples'
+  /// "Figure 7 / Figure 8" views).
+  std::string snapshot_text(SimTime events_from, SimTime events_to) const;
+
+  /// History replay (paper: "locate the network problems by replaying the
+  /// history events"): renders every event in [from, to) one per line.
+  std::string replay_text(SimTime from, SimTime to) const;
+
+ private:
+  const ctrl::Controller* controller_;
+};
+
+}  // namespace livesec::mon

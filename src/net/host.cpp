@@ -1,0 +1,222 @@
+#include "net/host.h"
+
+#include "common/hash.h"
+#include "packet/dhcp.h"
+#include "sim/simulator.h"
+
+namespace livesec::net {
+
+Host::Host(sim::Simulator& sim, std::string name, MacAddress mac, Ipv4Address ip)
+    : Node(sim, std::move(name)), mac_(mac), ip_(ip) {
+  add_port();  // port 0: the NIC
+  ping_id_ = static_cast<std::uint16_t>(mac.to_uint64() & 0xFFFF);
+}
+
+void Host::announce() {
+  auto garp = pkt::PacketBuilder()
+                  .eth(mac_, MacAddress::broadcast())
+                  .arp(pkt::ArpOp::kRequest, mac_, ip_, MacAddress(), ip_)
+                  .finalize();
+  send(0, std::move(garp));
+}
+
+void Host::enable_periodic_announce(SimTime interval) {
+  const std::uint64_t epoch = ++announce_epoch_;
+  schedule_announce(interval, epoch);
+}
+
+void Host::schedule_announce(SimTime interval, std::uint64_t epoch) {
+  if (epoch != announce_epoch_) return;  // disabled or re-armed since
+  announce();
+  simulator().schedule(interval,
+                       [this, interval, epoch]() { schedule_announce(interval, epoch); });
+}
+
+void Host::start_dhcp(std::function<void(Ipv4Address)> on_bound, SimTime retry) {
+  dhcp_on_bound_ = std::move(on_bound);
+  dhcp_running_ = true;
+  dhcp_bound_ = false;
+  dhcp_xid_ = static_cast<std::uint32_t>(splitmix64(mac_.to_uint64()));
+
+  pkt::DhcpMessage discover;
+  discover.op = pkt::DhcpOp::kDiscover;
+  discover.xid = dhcp_xid_;
+  discover.client_mac = mac_;
+  send(0, pkt::finalize(discover.to_packet(mac_, Ipv4Address())));
+
+  simulator().schedule(retry, [this, retry]() {
+    if (dhcp_running_ && !dhcp_bound_) start_dhcp(std::move(dhcp_on_bound_), retry);
+  });
+}
+
+void Host::send_arp_request(Ipv4Address target) {
+  auto request = pkt::PacketBuilder()
+                     .eth(mac_, MacAddress::broadcast())
+                     .arp(pkt::ArpOp::kRequest, mac_, ip_, MacAddress(), target)
+                     .finalize();
+  send(0, std::move(request));
+}
+
+void Host::send_ip(pkt::Packet packet) {
+  packet.eth.src = mac_;
+  if (!packet.ipv4) return;
+  packet.ipv4->src = ip_;
+  const Ipv4Address dst = packet.ipv4->dst;
+  auto it = arp_cache_.find(dst);
+  if (it == arp_cache_.end()) {
+    const bool already_resolving = pending_.contains(dst);
+    pending_[dst].push_back(std::move(packet));
+    if (!already_resolving) send_arp_request(dst);
+    return;
+  }
+  packet.eth.dst = it->second;
+  ++tx_ip_packets_;
+  send(0, pkt::finalize(std::move(packet)));
+}
+
+void Host::flush_pending(Ipv4Address resolved, MacAddress mac) {
+  auto it = pending_.find(resolved);
+  if (it == pending_.end()) return;
+  std::vector<pkt::Packet> queued = std::move(it->second);
+  pending_.erase(it);
+  for (pkt::Packet& packet : queued) {
+    packet.eth.dst = mac;
+    ++tx_ip_packets_;
+    send(0, pkt::finalize(std::move(packet)));
+  }
+}
+
+void Host::ping(Ipv4Address dst, int count, SimTime interval,
+                std::function<void(const PingStats&)> on_done, SimTime timeout) {
+  ping_done_ = std::move(on_done);
+  ping_outstanding_ = count;
+  ping_finished_ = false;
+  for (int i = 0; i < count; ++i) {
+    simulator().schedule(interval * i, [this, dst]() {
+      const std::uint16_t seq = ping_next_seq_++;
+      ping_sent_at_[seq] = simulator().now();
+      ++ping_stats_.sent;
+      pkt::Packet packet = pkt::PacketBuilder()
+                               .ipv4(ip_, dst, pkt::IpProto::kIcmp)
+                               .icmp(pkt::IcmpType::kEchoRequest, ping_id_, seq)
+                               .payload_size(56)
+                               .build();
+      send_ip(std::move(packet));
+    });
+  }
+  // Completion deadline: fire on_done even if replies were lost.
+  simulator().schedule(interval * count + timeout, [this]() { finish_ping(); });
+}
+
+void Host::finish_ping() {
+  if (ping_finished_) return;
+  ping_finished_ = true;
+  if (ping_done_) ping_done_(ping_stats_);
+}
+
+void Host::on_udp(std::uint16_t port, PacketHandler handler) {
+  udp_handlers_[port] = std::move(handler);
+}
+
+void Host::on_tcp(std::uint16_t port, PacketHandler handler) {
+  tcp_handlers_[port] = std::move(handler);
+}
+
+void Host::reset_counters() {
+  rx_ip_packets_ = 0;
+  rx_ip_bytes_ = 0;
+  rx_payload_bytes_ = 0;
+  tx_ip_packets_ = 0;
+}
+
+void Host::handle_packet(PortId in_port, pkt::PacketPtr packet) {
+  (void)in_port;
+  const pkt::Packet& p = *packet;
+
+  if (p.arp) {
+    const pkt::ArpHeader& arp = *p.arp;
+    if (arp.op == pkt::ArpOp::kRequest) {
+      if (arp.target_ip == ip_ && arp.sender_ip != ip_) {
+        arp_cache_[arp.sender_ip] = arp.sender_mac;
+        auto reply = pkt::PacketBuilder()
+                         .eth(mac_, arp.sender_mac)
+                         .arp(pkt::ArpOp::kReply, mac_, ip_, arp.sender_mac, arp.sender_ip)
+                         .finalize();
+        send(0, std::move(reply));
+      }
+    } else {
+      arp_cache_[arp.sender_ip] = arp.sender_mac;
+      flush_pending(arp.sender_ip, arp.sender_mac);
+    }
+    return;
+  }
+
+  if (!p.ipv4 || p.eth.dst != mac_) return;
+
+  // DHCP client: OFFER -> REQUEST, ACK -> bind.
+  if (dhcp_running_ && !dhcp_bound_ && p.udp && p.udp->dst_port == pkt::kDhcpClientPort) {
+    const auto message = pkt::DhcpMessage::decode(p.payload_view());
+    if (message && message->xid == dhcp_xid_ && message->client_mac == mac_) {
+      if (message->op == pkt::DhcpOp::kOffer) {
+        pkt::DhcpMessage request;
+        request.op = pkt::DhcpOp::kRequest;
+        request.xid = dhcp_xid_;
+        request.client_mac = mac_;
+        request.your_ip = message->your_ip;
+        send(0, pkt::finalize(request.to_packet(mac_, Ipv4Address())));
+      } else if (message->op == pkt::DhcpOp::kAck) {
+        ip_ = message->your_ip;
+        dhcp_bound_ = true;
+        announce();
+        if (dhcp_on_bound_) dhcp_on_bound_(ip_);
+      }
+      return;
+    }
+  }
+  ++rx_ip_packets_;
+  rx_ip_bytes_ += p.wire_size();
+  rx_payload_bytes_ += p.payload_size();
+  // Data-plane traffic also teaches us the peer's MAC (saves an ARP for the
+  // reply direction).
+  arp_cache_.emplace(p.ipv4->src, p.eth.src);
+
+  if (p.icmp) {
+    if (p.icmp->type == pkt::IcmpType::kEchoRequest) {
+      pkt::Packet reply = pkt::PacketBuilder()
+                              .ipv4(ip_, p.ipv4->src, pkt::IpProto::kIcmp)
+                              .icmp(pkt::IcmpType::kEchoReply, p.icmp->id, p.icmp->seq)
+                              .payload(p.payload ? p.payload : pkt::make_payload(std::size_t{56}))
+                              .build();
+      send_ip(std::move(reply));
+    } else if (p.icmp->type == pkt::IcmpType::kEchoReply && p.icmp->id == ping_id_) {
+      auto it = ping_sent_at_.find(p.icmp->seq);
+      if (it != ping_sent_at_.end()) {
+        const SimTime rtt = simulator().now() - it->second;
+        ping_sent_at_.erase(it);
+        ping_stats_.results.push_back(PingResult{p.icmp->seq, rtt});
+        ++ping_stats_.received;
+        if (ping_stats_.min_rtt == 0 || rtt < ping_stats_.min_rtt) ping_stats_.min_rtt = rtt;
+        if (rtt > ping_stats_.max_rtt) ping_stats_.max_rtt = rtt;
+        if (--ping_outstanding_ <= 0) finish_ping();
+      }
+    }
+    return;
+  }
+
+  if (p.udp) {
+    auto it = udp_handlers_.find(p.udp->dst_port);
+    if (it != udp_handlers_.end()) {
+      it->second(p);
+      return;
+    }
+  } else if (p.tcp) {
+    auto it = tcp_handlers_.find(p.tcp->dst_port);
+    if (it != tcp_handlers_.end()) {
+      it->second(p);
+      return;
+    }
+  }
+  if (default_handler_) default_handler_(p);
+}
+
+}  // namespace livesec::net

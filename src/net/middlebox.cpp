@@ -1,0 +1,37 @@
+#include "net/middlebox.h"
+
+#include "sim/simulator.h"
+
+namespace livesec::net {
+
+InlineMiddlebox::InlineMiddlebox(sim::Simulator& sim, std::string name)
+    : InlineMiddlebox(sim, std::move(name), Config{}) {}
+
+InlineMiddlebox::InlineMiddlebox(sim::Simulator& sim, std::string name, Config config)
+    : Node(sim, std::move(name)), config_(config) {
+  add_port();  // 0: inside
+  add_port();  // 1: outside
+}
+
+void InlineMiddlebox::handle_packet(PortId in_port, pkt::PacketPtr packet) {
+  if (queued_ >= config_.max_queue_packets) {
+    ++overload_drops_;
+    return;
+  }
+  ++queued_;
+  const double bits = static_cast<double>(packet->wire_size()) * 8.0;
+  const SimTime service =
+      static_cast<SimTime>(bits / config_.processing_bps * kSecond) + config_.per_packet_overhead;
+  const SimTime now = simulator().now();
+  const SimTime start = busy_until_ > now ? busy_until_ : now;
+  busy_until_ = start + service;
+  simulator().schedule_at(busy_until_, [this, in_port, packet = std::move(packet)]() mutable {
+    --queued_;
+    ++processed_packets_;
+    processed_bytes_ += packet->wire_size();
+    alerts_ += engine_.inspect(*packet).size();
+    send(in_port == 0 ? 1 : 0, std::move(packet));
+  });
+}
+
+}  // namespace livesec::net

@@ -1,0 +1,52 @@
+// Traditional on-path security middlebox — the baseline architecture the
+// paper argues against (§I: middleboxes at the gateway create a "single
+// point of performance bottleneck" and require "complicated policies ...
+// coercing end-to-end flows to traverse specified middlebox").
+#pragma once
+
+#include <cstdint>
+
+#include "services/ids/ids_engine.h"
+#include "sim/node.h"
+
+namespace livesec::net {
+
+/// A bump-in-the-wire middlebox: two ports (0 = inside, 1 = outside).
+/// Every packet is inspected under a finite processing budget and forwarded
+/// out the opposite port. There is no controller, no off-path steering and
+/// no load balancing: capacity is fixed at deployment time, which is exactly
+/// the limitation LiveSec's Access-Switching layer removes.
+class InlineMiddlebox : public sim::Node {
+ public:
+  struct Config {
+    /// Inspection rate (same class of appliance as one SE VM).
+    double processing_bps = 500e6;
+    SimTime per_packet_overhead = 1 * kMicrosecond;
+    std::size_t max_queue_packets = 4096;
+  };
+
+  InlineMiddlebox(sim::Simulator& sim, std::string name);
+  InlineMiddlebox(sim::Simulator& sim, std::string name, Config config);
+
+  void handle_packet(PortId in_port, pkt::PacketPtr packet) override;
+
+  std::uint64_t processed_packets() const { return processed_packets_; }
+  std::uint64_t processed_bytes() const { return processed_bytes_; }
+  std::uint64_t overload_drops() const { return overload_drops_; }
+  std::uint64_t alerts() const { return alerts_; }
+
+  sim::Port& inside() { return port(0); }
+  sim::Port& outside() { return port(1); }
+
+ private:
+  Config config_;
+  svc::ids::IdsEngine engine_;
+  SimTime busy_until_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t processed_packets_ = 0;
+  std::uint64_t processed_bytes_ = 0;
+  std::uint64_t overload_drops_ = 0;
+  std::uint64_t alerts_ = 0;
+};
+
+}  // namespace livesec::net

@@ -1,0 +1,28 @@
+// A capture host hanging off a mirror (SPAN) port: records every frame it
+// receives into a Trace for later offline replay.
+#pragma once
+
+#include "monitor/trace.h"
+#include "sim/node.h"
+
+namespace livesec::net {
+
+/// Plug this node's port 0 into an AS switch port configured as the mirror
+/// target (Controller::set_mirror_port); every mirrored frame lands in the
+/// trace with its arrival timestamp.
+class TraceSink : public sim::Node {
+ public:
+  TraceSink(sim::Simulator& sim, std::string name) : Node(sim, std::move(name)) { add_port(); }
+
+  void handle_packet(PortId, pkt::PacketPtr packet) override {
+    trace_.append(simulator().now(), std::move(packet));
+  }
+
+  const mon::Trace& trace() const { return trace_; }
+  mon::Trace& trace() { return trace_; }
+
+ private:
+  mon::Trace trace_;
+};
+
+}  // namespace livesec::net

@@ -1,0 +1,268 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+
+namespace livesec::net {
+
+// --- UdpCbrApp -----------------------------------------------------------------
+
+UdpCbrApp::UdpCbrApp(Host& host, Config config) : host_(&host), config_(config) {
+  const double bits_per_packet =
+      static_cast<double>(config_.packet_payload + 28 /*UDP+IP*/ + 14 /*eth*/) * 8.0;
+  interval_ = static_cast<SimTime>(bits_per_packet / config_.rate_bps * kSecond);
+  if (interval_ <= 0) interval_ = 1;
+}
+
+void UdpCbrApp::start() {
+  started_at_ = host_->simulator().now();
+  send_next();
+}
+
+void UdpCbrApp::send_next() {
+  const SimTime now = host_->simulator().now();
+  if (now - started_at_ >= config_.duration) return;
+  pkt::Packet packet = pkt::PacketBuilder()
+                           .ipv4(host_->ip(), config_.dst, pkt::IpProto::kUdp)
+                           .udp(config_.src_port, config_.dst_port)
+                           .payload_size(config_.packet_payload)
+                           .build();
+  ++packets_sent_;
+  bytes_sent_ += packet.wire_size();
+  host_->send_ip(std::move(packet));
+  host_->simulator().schedule(interval_, [this]() { send_next(); });
+}
+
+// --- HttpServerApp --------------------------------------------------------------
+
+HttpServerApp::HttpServerApp(Host& host, Config config) : host_(&host), config_(config) {
+  host_->on_tcp(config_.port, [this](const pkt::Packet& packet) {
+    if (!packet.tcp || !packet.ipv4) return;
+    const auto key = std::make_pair(packet.ipv4->src.value(), packet.tcp->src_port);
+
+    if (packet.payload_size() == 0) {
+      // Bare ack: release the next segment(s) of this session's window.
+      auto it = transfers_.find(key);
+      if (it == transfers_.end()) return;
+      if (it->second.in_flight > 0) --it->second.in_flight;
+      fill_window(it->second);
+      if (it->second.remaining == 0 && it->second.in_flight == 0) transfers_.erase(it);
+      return;
+    }
+
+    // A (possibly resumed) GET request. "BYTES=<n>" overrides the size.
+    ++requests_served_;
+    std::size_t bytes = config_.response_size;
+    const std::string request(packet.payload->begin(), packet.payload->end());
+    if (const auto pos = request.find("BYTES="); pos != std::string::npos) {
+      bytes = static_cast<std::size_t>(std::strtoull(request.c_str() + pos + 6, nullptr, 10));
+    }
+    Transfer& transfer = transfers_[key];
+    transfer.client_ip = packet.ipv4->src;
+    transfer.client_port = packet.tcp->src_port;
+    transfer.remaining = bytes;
+    transfer.in_flight = 0;  // a fresh request restarts the window
+    fill_window(transfer);
+  });
+}
+
+void HttpServerApp::fill_window(Transfer& transfer) {
+  while (transfer.in_flight < config_.window && transfer.remaining > 0) {
+    const std::size_t chunk = std::min(transfer.remaining, config_.mtu_payload);
+    pkt::Packet segment =
+        pkt::PacketBuilder()
+            .ipv4(host_->ip(), transfer.client_ip, pkt::IpProto::kTcp)
+            .tcp(config_.port, transfer.client_port, pkt::TcpFlags::kAck | pkt::TcpFlags::kPsh)
+            .build();
+    if (!transfer.header_sent) {
+      // First segment carries genuine HTTP bytes for the L7 classifier/IDS.
+      std::string head = "HTTP/1.1 200 OK\r\nContent-Length: " +
+                         std::to_string(transfer.remaining) +
+                         "\r\nContent-Type: text/html\r\n\r\n";
+      std::vector<std::uint8_t> bytes(head.begin(), head.end());
+      bytes.resize(chunk, std::uint8_t{'x'});
+      segment.payload = pkt::make_payload(std::move(bytes));
+      transfer.header_sent = true;
+    } else {
+      segment.payload = pkt::make_payload(chunk);
+    }
+    host_->send_ip(std::move(segment));
+    transfer.remaining -= chunk;
+    ++transfer.in_flight;
+  }
+}
+
+// --- HttpClientApp --------------------------------------------------------------
+
+HttpClientApp::HttpClientApp(Host& host, Config config)
+    : host_(&host), config_(config), next_src_port_(config.first_src_port) {
+  // Response segments arrive on our ephemeral ports; credit the transfer,
+  // ack each segment (the server's window clock), finish or continue.
+  host_->on_ip_default([this](const pkt::Packet& p) {
+    if (!p.tcp || p.payload_size() == 0) return;
+    auto it = outstanding_.find(p.tcp->dst_port);
+    if (it == outstanding_.end()) return;
+    response_bytes_ += p.payload_size();
+    it->second.last_progress = host_->simulator().now();
+
+    // Ack releases the next window segment at the server.
+    pkt::Packet ack = pkt::PacketBuilder()
+                          .ipv4(host_->ip(), config_.server, pkt::IpProto::kTcp)
+                          .tcp(p.tcp->dst_port, config_.server_port, pkt::TcpFlags::kAck)
+                          .build();
+    host_->send_ip(std::move(ack));
+
+    if (p.payload_size() >= it->second.remaining) {
+      outstanding_.erase(it);
+      ++responses_completed_;
+      if (issued_ < config_.sessions) issue_request();
+    } else {
+      it->second.remaining -= p.payload_size();
+    }
+  });
+}
+
+void HttpClientApp::start() {
+  const std::size_t burst = std::min(config_.concurrency, config_.sessions);
+  for (std::size_t i = 0; i < burst; ++i) issue_request();
+  if (!watchdog_running_) {
+    watchdog_running_ = true;
+    host_->simulator().schedule(100 * kMillisecond, [this]() { watchdog(); });
+  }
+}
+
+void HttpClientApp::issue_request() {
+  if (issued_ >= config_.sessions) return;
+  ++issued_;
+  const std::uint16_t src_port = next_src_port_++;
+  outstanding_[src_port] =
+      Outstanding{config_.expected_response, host_->simulator().now()};
+  send_request(src_port, config_.expected_response);
+}
+
+void HttpClientApp::send_request(std::uint16_t src_port, std::size_t bytes) {
+  const std::string request = "GET " + config_.path + " HTTP/1.1\r\nHost: server\r\nBYTES=" +
+                              std::to_string(bytes) + "\r\n\r\n";
+  pkt::Packet packet =
+      pkt::PacketBuilder()
+          .ipv4(host_->ip(), config_.server, pkt::IpProto::kTcp)
+          .tcp(src_port, config_.server_port, pkt::TcpFlags::kPsh | pkt::TcpFlags::kAck)
+          .payload(request)
+          .build();
+  host_->send_ip(std::move(packet));
+}
+
+void HttpClientApp::watchdog() {
+  // Stall recovery (TCP retransmission stand-in): a transfer idle for 300 ms
+  // re-requests its remaining bytes.
+  const SimTime now = host_->simulator().now();
+  for (auto& [src_port, transfer] : outstanding_) {
+    if (now - transfer.last_progress > 300 * kMillisecond) {
+      transfer.last_progress = now;
+      ++resumes_sent_;
+      send_request(src_port, transfer.remaining);
+    }
+  }
+  if (!outstanding_.empty() || issued_ < config_.sessions) {
+    host_->simulator().schedule(100 * kMillisecond, [this]() { watchdog(); });
+  } else {
+    watchdog_running_ = false;
+  }
+}
+
+// --- SshApp ----------------------------------------------------------------------
+
+SshApp::SshApp(Host& host, Config config) : host_(&host), config_(config) {}
+
+void SshApp::start() {
+  started_at_ = host_->simulator().now();
+  tick();
+}
+
+void SshApp::tick() {
+  const SimTime now = host_->simulator().now();
+  if (now - started_at_ >= config_.duration) return;
+  pkt::PacketBuilder builder;
+  builder.ipv4(host_->ip(), config_.server, pkt::IpProto::kTcp)
+      .tcp(config_.src_port, 22, pkt::TcpFlags::kPsh | pkt::TcpFlags::kAck);
+  if (!banner_sent_) {
+    builder.payload("SSH-2.0-OpenSSH_5.8p1 LiveSec\r\n");
+    banner_sent_ = true;
+  } else {
+    builder.payload_size(48);  // encrypted keystroke-sized record
+  }
+  ++packets_sent_;
+  host_->send_ip(builder.build());
+  host_->simulator().schedule(config_.keystroke_interval, [this]() { tick(); });
+}
+
+// --- BitTorrentApp ----------------------------------------------------------------
+
+BitTorrentApp::BitTorrentApp(Host& host, Config config) : host_(&host), config_(config) {
+  const double bits_per_packet = (1400 + 54) * 8.0;
+  interval_ = static_cast<SimTime>(bits_per_packet / config_.rate_bps * kSecond);
+  if (interval_ <= 0) interval_ = 1;
+}
+
+void BitTorrentApp::start() {
+  started_at_ = host_->simulator().now();
+  if (!handshakes_sent_) {
+    handshakes_sent_ = true;
+    for (std::size_t i = 0; i < config_.peers.size(); ++i) {
+      std::string handshake = "\x13";
+      handshake += "BitTorrent protocol";
+      handshake.append(8, '\0');
+      handshake += "INFOHASHINFOHASHXXXX";  // 20-byte info hash stand-in
+      handshake += "PEERIDPEERIDPEERIDPE";  // 20-byte peer id stand-in
+      pkt::Packet packet =
+          pkt::PacketBuilder()
+              .ipv4(host_->ip(), config_.peers[i], pkt::IpProto::kTcp)
+              .tcp(static_cast<std::uint16_t>(config_.first_src_port + i), 6881,
+                   pkt::TcpFlags::kPsh | pkt::TcpFlags::kAck)
+              .payload(handshake)
+              .build();
+      host_->send_ip(std::move(packet));
+    }
+  }
+  send_next();
+}
+
+void BitTorrentApp::send_next() {
+  const SimTime now = host_->simulator().now();
+  if (now - started_at_ >= config_.duration || config_.peers.empty()) return;
+  const std::size_t peer = next_peer_++ % config_.peers.size();
+  pkt::Packet packet =
+      pkt::PacketBuilder()
+          .ipv4(host_->ip(), config_.peers[peer], pkt::IpProto::kTcp)
+          .tcp(static_cast<std::uint16_t>(config_.first_src_port + peer), 6881,
+               pkt::TcpFlags::kAck)
+          .payload_size(1400)
+          .build();
+  bytes_sent_ += packet.wire_size();
+  host_->send_ip(std::move(packet));
+  host_->simulator().schedule(interval_, [this]() { send_next(); });
+}
+
+// --- AttackApp --------------------------------------------------------------------
+
+AttackApp::AttackApp(Host& host, Config config)
+    : host_(&host), config_(config), remaining_(config.packets) {}
+
+void AttackApp::start() { send_next(); }
+
+void AttackApp::send_next() {
+  if (remaining_ <= 0) return;
+  --remaining_;
+  pkt::Packet packet =
+      pkt::PacketBuilder()
+          .ipv4(host_->ip(), config_.server, pkt::IpProto::kTcp)
+          .tcp(config_.src_port, config_.server_port, pkt::TcpFlags::kPsh | pkt::TcpFlags::kAck)
+          .payload(config_.attack_payload)
+          .build();
+  ++packets_sent_;
+  host_->send_ip(std::move(packet));
+  host_->simulator().schedule(config_.interval, [this]() { send_next(); });
+}
+
+}  // namespace livesec::net

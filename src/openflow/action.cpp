@@ -1,0 +1,35 @@
+#include "openflow/action.h"
+
+#include <sstream>
+
+namespace livesec::of {
+
+std::string to_string(const Action& action) {
+  struct Visitor {
+    std::string operator()(const ActionOutput& a) const {
+      return "output:" + std::to_string(a.port);
+    }
+    std::string operator()(const ActionFlood&) const { return "flood"; }
+    std::string operator()(const ActionController&) const { return "controller"; }
+    std::string operator()(const ActionSetDlDst& a) const {
+      return "set_dl_dst:" + a.mac.to_string();
+    }
+    std::string operator()(const ActionSetDlSrc& a) const {
+      return "set_dl_src:" + a.mac.to_string();
+    }
+    std::string operator()(const ActionDrop&) const { return "drop"; }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+std::string to_string(const ActionList& actions) {
+  if (actions.empty()) return "drop(empty)";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i) out << ",";
+    out << to_string(actions[i]);
+  }
+  return out.str();
+}
+
+}  // namespace livesec::of

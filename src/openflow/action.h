@@ -1,0 +1,59 @@
+// OpenFlow actions executed by the switch datapath on matching packets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/mac_address.h"
+#include "common/types.h"
+
+namespace livesec::of {
+
+/// Forward out of a specific port.
+struct ActionOutput {
+  PortId port = kInvalidPort;
+  friend bool operator==(const ActionOutput&, const ActionOutput&) = default;
+};
+
+/// Flood out of every port except the ingress (OFPP_FLOOD).
+struct ActionFlood {
+  friend bool operator==(const ActionFlood&, const ActionFlood&) = default;
+};
+
+/// Send to the controller as a PacketIn (OFPP_CONTROLLER).
+struct ActionController {
+  friend bool operator==(const ActionController&, const ActionController&) = default;
+};
+
+/// Rewrite destination MAC — used by the ingress AS switch to steer a flow to
+/// a service element (paper §IV.A step i).
+struct ActionSetDlDst {
+  MacAddress mac;
+  friend bool operator==(const ActionSetDlDst&, const ActionSetDlDst&) = default;
+};
+
+/// Rewrite source MAC.
+struct ActionSetDlSrc {
+  MacAddress mac;
+  friend bool operator==(const ActionSetDlSrc&, const ActionSetDlSrc&) = default;
+};
+
+/// Explicitly drop (an empty action list also drops; the explicit form makes
+/// security-drop entries self-documenting in dumps).
+struct ActionDrop {
+  friend bool operator==(const ActionDrop&, const ActionDrop&) = default;
+};
+
+using Action = std::variant<ActionOutput, ActionFlood, ActionController, ActionSetDlDst,
+                            ActionSetDlSrc, ActionDrop>;
+using ActionList = std::vector<Action>;
+
+std::string to_string(const Action& action);
+std::string to_string(const ActionList& actions);
+
+inline ActionList output_to(PortId port) { return {ActionOutput{port}}; }
+inline ActionList drop() { return {ActionDrop{}}; }
+
+}  // namespace livesec::of

@@ -1,0 +1,60 @@
+#include "openflow/channel.h"
+
+#include "openflow/wire.h"
+#include "sim/simulator.h"
+
+namespace livesec::of {
+
+SecureChannel::SecureChannel(sim::Simulator& sim, SwitchEndpoint& sw,
+                             ControllerEndpoint& controller, SimTime one_way_latency)
+    : sim_(&sim), switch_(&sw), controller_(&controller), latency_(one_way_latency) {}
+
+void SecureChannel::connect(const FeaturesReply& features) {
+  if (connected_) return;
+  connected_ = true;
+  const DatapathId dpid = switch_->datapath_id();
+  sim_->schedule(latency_, [this, dpid, features]() {
+    controller_->handle_switch_connected(dpid, features);
+  });
+}
+
+void SecureChannel::disconnect() {
+  if (!connected_) return;
+  connected_ = false;
+  const DatapathId dpid = switch_->datapath_id();
+  sim_->schedule(latency_, [this, dpid]() { controller_->handle_switch_disconnected(dpid); });
+}
+
+std::optional<Message> SecureChannel::transport(const Message& message) {
+  if (!wire_encoding_) return message;
+  const auto bytes = encode_message(message, next_xid_++);
+  auto decoded = decode_message(bytes);
+  if (!decoded) {
+    ++wire_failures_;
+    return std::nullopt;
+  }
+  return std::move(decoded->message);
+}
+
+void SecureChannel::send_to_controller(Message message) {
+  if (!connected_) return;
+  auto carried = transport(message);
+  if (!carried) return;
+  ++to_controller_;
+  const DatapathId dpid = switch_->datapath_id();
+  sim_->schedule(latency_, [this, dpid, message = std::move(*carried)]() {
+    controller_->handle_switch_message(dpid, message);
+  });
+}
+
+void SecureChannel::send_to_switch(Message message) {
+  if (!connected_) return;
+  auto carried = transport(message);
+  if (!carried) return;
+  ++to_switch_;
+  sim_->schedule(latency_, [this, message = std::move(*carried)]() {
+    switch_->handle_controller_message(message);
+  });
+}
+
+}  // namespace livesec::of

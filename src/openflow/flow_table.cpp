@@ -1,0 +1,165 @@
+#include "openflow/flow_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace livesec::of {
+
+std::string FlowEntry::to_string() const {
+  std::ostringstream out;
+  out << "prio=" << priority << " " << match.to_string() << " -> " << of::to_string(actions)
+      << " pkts=" << packet_count << " bytes=" << byte_count;
+  return out.str();
+}
+
+void FlowTable::add(FlowEntry entry, SimTime now) {
+  entry.installed_at = now;
+  entry.last_hit = now;
+  // OFPFC_ADD: identical (match, priority) replaces in place.
+  for (auto& existing : entries_) {
+    if (existing.priority == entry.priority && existing.match == entry.match) {
+      existing = entry;
+      return;
+    }
+  }
+  // Insert keeping order: priority desc, specificity desc, install order asc.
+  const std::uint64_t seq = install_seq_++;
+  auto pos = entries_.begin();
+  auto seq_pos = seqs_.begin();
+  for (; pos != entries_.end(); ++pos, ++seq_pos) {
+    if (pos->priority != entry.priority) {
+      if (pos->priority < entry.priority) break;
+      continue;
+    }
+    const int a = entry.match.specificity();
+    const int b = pos->match.specificity();
+    if (b < a) break;
+  }
+  seqs_.insert(seq_pos, seq);
+  entries_.insert(pos, std::move(entry));
+}
+
+std::size_t FlowTable::modify_strict(const Match& match, std::uint16_t priority,
+                                     const ActionList& actions) {
+  std::size_t updated = 0;
+  for (auto& e : entries_) {
+    if (e.priority == priority && e.match == match) {
+      e.actions = actions;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+std::size_t FlowTable::remove_strict(const Match& match, std::uint16_t priority, SimTime now) {
+  (void)now;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    if (entries_[i].priority == priority && entries_[i].match == match) {
+      if (on_removal_) on_removal_(entries_[i], RemovalReason::kDelete);
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+bool FlowTable::covers(const Match& general, const Match& specific) {
+  // Every field constrained by `general` must be constrained by `specific`
+  // to the same value; then anything `specific` matches, `general` matches.
+  const std::uint32_t gw = general.wildcards();
+  const std::uint32_t sw = specific.wildcards();
+  // A field exact in general but wildcarded in specific => not covered.
+  if ((~gw & sw) != 0) return false;
+  auto exact = [gw](Wildcard w) { return (gw & static_cast<std::uint32_t>(w)) == 0; };
+  if (exact(Wildcard::kInPort) && general.in_port_value() != specific.in_port_value()) return false;
+  if (exact(Wildcard::kDlVlan) && general.dl_vlan_value() != specific.dl_vlan_value()) return false;
+  if (exact(Wildcard::kDlSrc) && general.dl_src_value() != specific.dl_src_value()) return false;
+  if (exact(Wildcard::kDlDst) && general.dl_dst_value() != specific.dl_dst_value()) return false;
+  if (exact(Wildcard::kDlType) && general.dl_type_value() != specific.dl_type_value()) return false;
+  if (exact(Wildcard::kNwSrc) && general.nw_src_value() != specific.nw_src_value()) return false;
+  if (exact(Wildcard::kNwDst) && general.nw_dst_value() != specific.nw_dst_value()) return false;
+  if (exact(Wildcard::kNwProto) && general.nw_proto_value() != specific.nw_proto_value())
+    return false;
+  if (exact(Wildcard::kTpSrc) && general.tp_src_value() != specific.tp_src_value()) return false;
+  if (exact(Wildcard::kTpDst) && general.tp_dst_value() != specific.tp_dst_value()) return false;
+  return true;
+}
+
+std::size_t FlowTable::remove_matching(const Match& match, SimTime now) {
+  (void)now;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    if (covers(match, entries_[i].match)) {
+      if (on_removal_) on_removal_(entries_[i], RemovalReason::kDelete);
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+bool FlowTable::expired(const FlowEntry& e, SimTime now) const {
+  if (e.hard_timeout > 0 && now - e.installed_at >= e.hard_timeout) return true;
+  if (e.idle_timeout > 0 && now - e.last_hit >= e.idle_timeout) return true;
+  return false;
+}
+
+const FlowEntry* FlowTable::lookup(PortId in_port, const pkt::FlowKey& key,
+                                   std::size_t packet_bytes, SimTime now) {
+  ++lookups_;
+  expire(now);
+  for (auto& e : entries_) {
+    if (e.match.matches(in_port, key)) {
+      ++hits_;
+      ++e.packet_count;
+      e.byte_count += packet_bytes;
+      e.last_hit = now;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const FlowEntry* FlowTable::peek(PortId in_port, const pkt::FlowKey& key, SimTime now) const {
+  for (const auto& e : entries_) {
+    if (expired(e, now)) continue;
+    if (e.match.matches(in_port, key)) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::expire(SimTime now) {
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    if (expired(entries_[i], now)) {
+      if (on_removal_) {
+        const bool hard =
+            entries_[i].hard_timeout > 0 && now - entries_[i].installed_at >= entries_[i].hard_timeout;
+        on_removal_(entries_[i], hard ? RemovalReason::kHardTimeout : RemovalReason::kIdleTimeout);
+      }
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+std::string FlowTable::dump() const {
+  std::ostringstream out;
+  out << "flow_table(" << entries_.size() << " entries, " << hits_ << "/" << lookups_
+      << " hits)\n";
+  for (const auto& e : entries_) out << "  " << e.to_string() << "\n";
+  return out.str();
+}
+
+}  // namespace livesec::of

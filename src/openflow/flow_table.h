@@ -1,0 +1,98 @@
+// Flow entries and the per-switch flow table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "openflow/action.h"
+#include "openflow/match.h"
+
+namespace livesec::of {
+
+/// One rule in a switch's flow table: match + actions + counters + timeouts.
+struct FlowEntry {
+  Match match;
+  ActionList actions;
+  std::uint16_t priority = 100;
+  /// Entry is evicted if unmatched for this long (0 = never).
+  SimTime idle_timeout = 0;
+  /// Entry is evicted this long after installation regardless of use (0 = never).
+  SimTime hard_timeout = 0;
+  /// Opaque cookie chosen by the controller to recognize its own entries.
+  std::uint64_t cookie = 0;
+
+  // Counters (maintained by the flow table on each hit).
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  SimTime installed_at = 0;
+  SimTime last_hit = 0;
+
+  std::string to_string() const;
+};
+
+/// Reason codes reported when an entry is removed (OFPRR_*).
+enum class RemovalReason { kIdleTimeout, kHardTimeout, kDelete };
+
+/// Priority-ordered flow table with exact OpenFlow 1.0 semantics:
+/// highest priority wins; among equal priorities the most specific match
+/// wins; ties broken by install order (oldest first).
+class FlowTable {
+ public:
+  /// Called when an entry with `notify_on_removal` expires or is deleted.
+  using RemovalCallback = std::function<void(const FlowEntry&, RemovalReason)>;
+
+  /// Adds an entry. An existing entry with identical match & priority is
+  /// replaced (counters reset), per OFPFC_ADD semantics.
+  void add(FlowEntry entry, SimTime now);
+
+  /// Updates actions of entries whose match equals `match` exactly
+  /// (OFPFC_MODIFY_STRICT). Returns number updated.
+  std::size_t modify_strict(const Match& match, std::uint16_t priority, const ActionList& actions);
+
+  /// Removes entries whose match equals `match` exactly (OFPFC_DELETE_STRICT).
+  std::size_t remove_strict(const Match& match, std::uint16_t priority, SimTime now);
+
+  /// Removes every entry matched-or-wildcard-covered by `match`
+  /// (OFPFC_DELETE, non-strict: `match` must be equal or more general).
+  std::size_t remove_matching(const Match& match, SimTime now);
+
+  /// Looks up the best entry for a packet; bumps counters on hit. Expired
+  /// entries are lazily evicted during lookup.
+  const FlowEntry* lookup(PortId in_port, const pkt::FlowKey& key, std::size_t packet_bytes,
+                          SimTime now);
+
+  /// Non-mutating lookup (no counter bump, no eviction) for diagnostics.
+  const FlowEntry* peek(PortId in_port, const pkt::FlowKey& key, SimTime now) const;
+
+  /// Evicts all entries that have timed out as of `now`. Returns the count.
+  std::size_t expire(SimTime now);
+
+  void set_removal_callback(RemovalCallback cb) { on_removal_ = std::move(cb); }
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return lookups_ - hits_; }
+
+  std::string dump() const;
+
+ private:
+  bool expired(const FlowEntry& e, SimTime now) const;
+  /// True when `general` covers every packet `specific` could match.
+  static bool covers(const Match& general, const Match& specific);
+
+  std::vector<FlowEntry> entries_;  // kept sorted: priority desc, specificity desc, age asc
+  RemovalCallback on_removal_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t install_seq_ = 0;
+  std::vector<std::uint64_t> seqs_;  // parallel to entries_, for stable age ordering
+};
+
+}  // namespace livesec::of

@@ -1,0 +1,149 @@
+#include "openflow/match.h"
+
+#include <bit>
+#include <sstream>
+
+namespace livesec::of {
+
+Match Match::exact(PortId in_port, const pkt::FlowKey& key) {
+  Match m = exact_flow(key);
+  m.in_port(in_port);
+  return m;
+}
+
+Match Match::exact_flow(const pkt::FlowKey& key) {
+  Match m;
+  m.dl_vlan(key.vlan_id)
+      .dl_src(key.dl_src)
+      .dl_dst(key.dl_dst)
+      .dl_type(key.dl_type)
+      .nw_src(key.nw_src)
+      .nw_dst(key.nw_dst)
+      .nw_proto(key.nw_proto)
+      .tp_src(key.tp_src)
+      .tp_dst(key.tp_dst);
+  return m;
+}
+
+namespace {
+constexpr std::uint32_t bit(Wildcard w) { return static_cast<std::uint32_t>(w); }
+}  // namespace
+
+Match& Match::wildcard(Wildcard field) {
+  wildcards_ |= bit(field);
+  // Canonicalize: a wildcarded field's stored value is meaningless, so reset
+  // it — this keeps operator== semantic (two matches that accept the same
+  // packets compare equal) and makes wire round-trips exact.
+  switch (field) {
+    case Wildcard::kInPort: in_port_ = 0; break;
+    case Wildcard::kDlVlan: dl_vlan_ = pkt::kVlanNone; break;
+    case Wildcard::kDlSrc: dl_src_ = MacAddress(); break;
+    case Wildcard::kDlDst: dl_dst_ = MacAddress(); break;
+    case Wildcard::kDlType: dl_type_ = 0; break;
+    case Wildcard::kNwSrc: nw_src_ = Ipv4Address(); break;
+    case Wildcard::kNwDst: nw_dst_ = Ipv4Address(); break;
+    case Wildcard::kNwProto: nw_proto_ = 0; break;
+    case Wildcard::kTpSrc: tp_src_ = 0; break;
+    case Wildcard::kTpDst: tp_dst_ = 0; break;
+    case Wildcard::kAll:
+      *this = Match();
+      break;
+  }
+  return *this;
+}
+Match& Match::in_port(PortId v) {
+  in_port_ = v;
+  wildcards_ &= ~bit(Wildcard::kInPort);
+  return *this;
+}
+Match& Match::dl_vlan(std::uint16_t v) {
+  dl_vlan_ = v;
+  wildcards_ &= ~bit(Wildcard::kDlVlan);
+  return *this;
+}
+Match& Match::dl_src(MacAddress v) {
+  dl_src_ = v;
+  wildcards_ &= ~bit(Wildcard::kDlSrc);
+  return *this;
+}
+Match& Match::dl_dst(MacAddress v) {
+  dl_dst_ = v;
+  wildcards_ &= ~bit(Wildcard::kDlDst);
+  return *this;
+}
+Match& Match::dl_type(std::uint16_t v) {
+  dl_type_ = v;
+  wildcards_ &= ~bit(Wildcard::kDlType);
+  return *this;
+}
+Match& Match::nw_src(Ipv4Address v) {
+  nw_src_ = v;
+  wildcards_ &= ~bit(Wildcard::kNwSrc);
+  return *this;
+}
+Match& Match::nw_dst(Ipv4Address v) {
+  nw_dst_ = v;
+  wildcards_ &= ~bit(Wildcard::kNwDst);
+  return *this;
+}
+Match& Match::nw_proto(std::uint8_t v) {
+  nw_proto_ = v;
+  wildcards_ &= ~bit(Wildcard::kNwProto);
+  return *this;
+}
+Match& Match::tp_src(std::uint16_t v) {
+  tp_src_ = v;
+  wildcards_ &= ~bit(Wildcard::kTpSrc);
+  return *this;
+}
+Match& Match::tp_dst(std::uint16_t v) {
+  tp_dst_ = v;
+  wildcards_ &= ~bit(Wildcard::kTpDst);
+  return *this;
+}
+
+bool Match::matches(PortId in_port, const pkt::FlowKey& key) const {
+  auto exact = [this](Wildcard w) { return (wildcards_ & bit(w)) == 0; };
+  if (exact(Wildcard::kInPort) && in_port_ != in_port) return false;
+  if (exact(Wildcard::kDlVlan) && dl_vlan_ != key.vlan_id) return false;
+  if (exact(Wildcard::kDlSrc) && dl_src_ != key.dl_src) return false;
+  if (exact(Wildcard::kDlDst) && dl_dst_ != key.dl_dst) return false;
+  if (exact(Wildcard::kDlType) && dl_type_ != key.dl_type) return false;
+  if (exact(Wildcard::kNwSrc) && nw_src_ != key.nw_src) return false;
+  if (exact(Wildcard::kNwDst) && nw_dst_ != key.nw_dst) return false;
+  if (exact(Wildcard::kNwProto) && nw_proto_ != key.nw_proto) return false;
+  if (exact(Wildcard::kTpSrc) && tp_src_ != key.tp_src) return false;
+  if (exact(Wildcard::kTpDst) && tp_dst_ != key.tp_dst) return false;
+  return true;
+}
+
+int Match::specificity() const {
+  return 10 - std::popcount(wildcards_ & static_cast<std::uint32_t>(Wildcard::kAll));
+}
+
+std::string Match::to_string() const {
+  std::ostringstream out;
+  auto exact = [this](Wildcard w) { return (wildcards_ & bit(w)) == 0; };
+  out << "{";
+  bool first = true;
+  auto field = [&](const char* name, const std::string& value) {
+    if (!first) out << ",";
+    out << name << "=" << value;
+    first = false;
+  };
+  if (exact(Wildcard::kInPort)) field("in_port", std::to_string(in_port_));
+  if (exact(Wildcard::kDlVlan)) field("vlan", std::to_string(dl_vlan_));
+  if (exact(Wildcard::kDlSrc)) field("dl_src", dl_src_.to_string());
+  if (exact(Wildcard::kDlDst)) field("dl_dst", dl_dst_.to_string());
+  if (exact(Wildcard::kDlType)) field("dl_type", std::to_string(dl_type_));
+  if (exact(Wildcard::kNwSrc)) field("nw_src", nw_src_.to_string());
+  if (exact(Wildcard::kNwDst)) field("nw_dst", nw_dst_.to_string());
+  if (exact(Wildcard::kNwProto)) field("nw_proto", std::to_string(nw_proto_));
+  if (exact(Wildcard::kTpSrc)) field("tp_src", std::to_string(tp_src_));
+  if (exact(Wildcard::kTpDst)) field("tp_dst", std::to_string(tp_dst_));
+  if (first) out << "*";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace livesec::of

@@ -1,0 +1,103 @@
+// OpenFlow 1.0-style flow match with per-field wildcards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "common/types.h"
+#include "packet/flow_key.h"
+
+namespace livesec::of {
+
+/// Wildcard bits: a set bit means "field is ignored when matching".
+enum class Wildcard : std::uint32_t {
+  kInPort = 1u << 0,
+  kDlVlan = 1u << 1,
+  kDlSrc = 1u << 2,
+  kDlDst = 1u << 3,
+  kDlType = 1u << 4,
+  kNwSrc = 1u << 5,
+  kNwDst = 1u << 6,
+  kNwProto = 1u << 7,
+  kTpSrc = 1u << 8,
+  kTpDst = 1u << 9,
+  kAll = (1u << 10) - 1,
+};
+
+constexpr std::uint32_t operator|(Wildcard a, Wildcard b) {
+  return static_cast<std::uint32_t>(a) | static_cast<std::uint32_t>(b);
+}
+constexpr std::uint32_t operator|(std::uint32_t a, Wildcard b) {
+  return a | static_cast<std::uint32_t>(b);
+}
+
+/// The 12-tuple match of OpenFlow 1.0: switch in-port, the paper's 9-tuple
+/// (§III.C.3) and wildcards selecting which fields participate.
+class Match {
+ public:
+  /// A match with all fields wildcarded (matches everything).
+  Match() = default;
+
+  /// Exact match on every field of `key` plus `in_port`.
+  static Match exact(PortId in_port, const pkt::FlowKey& key);
+
+  /// Exact match on the 9-tuple only (in_port wildcarded).
+  static Match exact_flow(const pkt::FlowKey& key);
+
+  Match& wildcard(Wildcard field);
+  Match& in_port(PortId v);
+  Match& dl_vlan(std::uint16_t v);
+  Match& dl_src(MacAddress v);
+  Match& dl_dst(MacAddress v);
+  Match& dl_type(std::uint16_t v);
+  Match& nw_src(Ipv4Address v);
+  Match& nw_dst(Ipv4Address v);
+  Match& nw_proto(std::uint8_t v);
+  Match& tp_src(std::uint16_t v);
+  Match& tp_dst(std::uint16_t v);
+
+  bool matches(PortId in_port, const pkt::FlowKey& key) const;
+
+  /// True when no field is constrained.
+  bool is_wildcard_all() const { return wildcards_ == static_cast<std::uint32_t>(Wildcard::kAll); }
+
+  /// Number of exact-match (non-wildcarded) fields; used to order overlapping
+  /// entries of equal priority (more specific wins).
+  int specificity() const;
+
+  std::uint32_t wildcards() const { return wildcards_; }
+
+  // Field accessors (meaningful only when the corresponding wildcard bit is
+  // clear). Used for covers() checks and diagnostics.
+  PortId in_port_value() const { return in_port_; }
+  std::uint16_t dl_vlan_value() const { return dl_vlan_; }
+  MacAddress dl_src_value() const { return dl_src_; }
+  MacAddress dl_dst_value() const { return dl_dst_; }
+  std::uint16_t dl_type_value() const { return dl_type_; }
+  Ipv4Address nw_src_value() const { return nw_src_; }
+  Ipv4Address nw_dst_value() const { return nw_dst_; }
+  std::uint8_t nw_proto_value() const { return nw_proto_; }
+  std::uint16_t tp_src_value() const { return tp_src_; }
+  std::uint16_t tp_dst_value() const { return tp_dst_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Match&, const Match&) = default;
+
+ private:
+  std::uint32_t wildcards_ = static_cast<std::uint32_t>(Wildcard::kAll);
+  PortId in_port_ = 0;
+  std::uint16_t dl_vlan_ = pkt::kVlanNone;
+  MacAddress dl_src_;
+  MacAddress dl_dst_;
+  std::uint16_t dl_type_ = 0;
+  Ipv4Address nw_src_;
+  Ipv4Address nw_dst_;
+  std::uint8_t nw_proto_ = 0;
+  std::uint16_t tp_src_ = 0;
+  std::uint16_t tp_dst_ = 0;
+};
+
+}  // namespace livesec::of

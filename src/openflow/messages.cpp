@@ -1,0 +1,21 @@
+#include "openflow/messages.h"
+
+namespace livesec::of {
+
+const char* message_name(const Message& m) {
+  struct Visitor {
+    const char* operator()(const PacketIn&) const { return "PacketIn"; }
+    const char* operator()(const PacketOut&) const { return "PacketOut"; }
+    const char* operator()(const FlowMod&) const { return "FlowMod"; }
+    const char* operator()(const FlowRemoved&) const { return "FlowRemoved"; }
+    const char* operator()(const FeaturesReply&) const { return "FeaturesReply"; }
+    const char* operator()(const EchoRequest&) const { return "EchoRequest"; }
+    const char* operator()(const EchoReply&) const { return "EchoReply"; }
+    const char* operator()(const PortStatus&) const { return "PortStatus"; }
+    const char* operator()(const StatsRequest&) const { return "StatsRequest"; }
+    const char* operator()(const StatsReply&) const { return "StatsReply"; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+}  // namespace livesec::of

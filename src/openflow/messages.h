@@ -1,0 +1,107 @@
+// Control-plane messages exchanged over the secure channel
+// (a faithful subset of OpenFlow 1.0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "openflow/flow_table.h"
+#include "packet/packet.h"
+
+namespace livesec::of {
+
+/// Why a packet was punted to the controller.
+enum class PacketInReason { kNoMatch, kAction };
+
+/// Switch -> controller: a packet needing a decision. LiveSec's location
+/// discovery (§III.C.2), end-to-end routing (§III.C.3) and service element
+/// messaging (§III.D.1) are all driven by PacketIn.
+struct PacketIn {
+  std::uint32_t buffer_id = 0;
+  PortId in_port = kInvalidPort;
+  PacketInReason reason = PacketInReason::kNoMatch;
+  pkt::PacketPtr packet;
+};
+
+/// Controller -> switch: emit a packet (possibly a buffered one).
+struct PacketOut {
+  /// Buffer id from a previous PacketIn, or kNoBuffer to use `packet`.
+  static constexpr std::uint32_t kNoBuffer = 0xFFFFFFFFu;
+  std::uint32_t buffer_id = kNoBuffer;
+  PortId in_port = kInvalidPort;  // for flood semantics
+  ActionList actions;
+  pkt::PacketPtr packet;  // used when buffer_id == kNoBuffer
+};
+
+enum class FlowModCommand { kAdd, kModifyStrict, kDeleteStrict, kDelete };
+
+/// Controller -> switch: install/modify/remove flow entries.
+struct FlowMod {
+  FlowModCommand command = FlowModCommand::kAdd;
+  FlowEntry entry;  // match+priority identify the target for modify/delete
+  /// Ask the switch to send FlowRemoved when this entry expires.
+  bool notify_on_removal = false;
+  /// Also release this buffered packet through the new entry's actions.
+  std::uint32_t buffer_id = PacketOut::kNoBuffer;
+};
+
+/// Switch -> controller: an entry expired or was deleted.
+struct FlowRemoved {
+  Match match;
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;
+  RemovalReason reason = RemovalReason::kIdleTimeout;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// Switch -> controller on connect: datapath description.
+struct FeaturesReply {
+  DatapathId datapath_id = 0;
+  std::uint32_t num_ports = 0;
+  std::string name;
+};
+
+/// Liveness probe (either direction); `token` is echoed back.
+struct EchoRequest {
+  std::uint64_t token = 0;
+};
+struct EchoReply {
+  std::uint64_t token = 0;
+};
+
+enum class PortChange { kUp, kDown };
+
+/// Switch -> controller: a port changed state.
+struct PortStatus {
+  PortId port = kInvalidPort;
+  PortChange change = PortChange::kUp;
+};
+
+/// Controller -> switch: request per-table statistics.
+struct StatsRequest {};
+
+struct FlowStats {
+  Match match;
+  std::uint16_t priority = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// Switch -> controller: statistics snapshot.
+struct StatsReply {
+  std::uint64_t table_lookups = 0;
+  std::uint64_t table_hits = 0;
+  std::vector<FlowStats> flows;
+};
+
+using Message = std::variant<PacketIn, PacketOut, FlowMod, FlowRemoved, FeaturesReply, EchoRequest,
+                             EchoReply, PortStatus, StatsRequest, StatsReply>;
+
+const char* message_name(const Message& m);
+
+}  // namespace livesec::of

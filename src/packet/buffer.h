@@ -1,0 +1,112 @@
+// Big-endian byte buffer used by all wire codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace livesec::pkt {
+
+/// Append-only writer producing network-byte-order (big-endian) bytes.
+class BufferWriter {
+ public:
+  void u8(std::uint8_t v) { data_.push_back(v); }
+  void u16(std::uint16_t v) {
+    data_.push_back(static_cast<std::uint8_t>(v >> 8));
+    data_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> b) { data_.insert(data_.end(), b.begin(), b.end()); }
+  void string(std::string_view s) {
+    data_.insert(data_.end(), s.begin(), s.end());
+  }
+  /// Writes a 16-bit length prefix followed by the string bytes.
+  void length_prefixed_string(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    string(s);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t> take() { return std::move(data_); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Sequential reader over big-endian bytes. All reads are bounds-checked:
+/// reading past the end sets a sticky error flag and returns zeros, so codecs
+/// can parse optimistically and check `ok()` once at the end.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!ensure(2)) return 0;
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    const std::uint32_t lo = u16();
+    return (hi << 16) | lo;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (!ensure(n)) return {};
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string string(std::size_t n) {
+    if (!ensure(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+  std::string length_prefixed_string() {
+    const std::uint16_t n = u16();
+    return string(n);
+  }
+  void skip(std::size_t n) {
+    if (ensure(n)) pos_ += n;
+  }
+
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace livesec::pkt

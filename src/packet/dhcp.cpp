@@ -1,0 +1,70 @@
+#include "packet/dhcp.h"
+
+#include "packet/buffer.h"
+
+namespace livesec::pkt {
+
+namespace {
+constexpr std::uint32_t kDhcpMagic = 0x4C444843;  // "LDHC"
+}
+
+const char* dhcp_op_name(DhcpOp op) {
+  switch (op) {
+    case DhcpOp::kDiscover: return "discover";
+    case DhcpOp::kOffer: return "offer";
+    case DhcpOp::kRequest: return "request";
+    case DhcpOp::kAck: return "ack";
+    case DhcpOp::kNak: return "nak";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> DhcpMessage::encode() const {
+  BufferWriter w;
+  w.u32(kDhcpMagic);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(xid);
+  w.bytes(client_mac.bytes());
+  w.u32(your_ip.value());
+  w.u32(server_ip.value());
+  w.u32(lease_seconds);
+  return w.take();
+}
+
+std::optional<DhcpMessage> DhcpMessage::decode(std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  if (r.u32() != kDhcpMagic) return std::nullopt;
+  DhcpMessage m;
+  m.op = static_cast<DhcpOp>(r.u8());
+  m.xid = r.u32();
+  std::array<std::uint8_t, 6> mac{};
+  for (auto& b : mac) b = r.u8();
+  m.client_mac = MacAddress(mac);
+  m.your_ip = Ipv4Address(r.u32());
+  m.server_ip = Ipv4Address(r.u32());
+  m.lease_seconds = r.u32();
+  if (!r.ok()) return std::nullopt;
+  if (static_cast<std::uint8_t>(m.op) < 1 || static_cast<std::uint8_t>(m.op) > 5) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Packet DhcpMessage::to_packet(MacAddress src_mac, Ipv4Address src_ip) const {
+  const bool from_client = op == DhcpOp::kDiscover || op == DhcpOp::kRequest;
+  PacketBuilder builder;
+  builder
+      .eth(src_mac, from_client ? MacAddress::broadcast() : client_mac)
+      .ipv4(src_ip, from_client ? Ipv4Address::broadcast() : your_ip, IpProto::kUdp)
+      .udp(from_client ? kDhcpClientPort : kDhcpServerPort,
+           from_client ? kDhcpServerPort : kDhcpClientPort)
+      .payload(make_payload(encode()));
+  return builder.build();
+}
+
+bool is_dhcp_packet(const Packet& packet) {
+  return packet.udp.has_value() &&
+         (packet.udp->dst_port == kDhcpServerPort || packet.udp->dst_port == kDhcpClientPort);
+}
+
+}  // namespace livesec::pkt

@@ -1,0 +1,50 @@
+// Simplified DHCP (BOOTP-style) message codec. The LiveSec directory proxy
+// answers DHCP centrally (paper §III.C.2: "a dedicated directory proxy
+// should be employed to specially handle all ARP and DHCP resolutions").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "packet/packet.h"
+
+namespace livesec::pkt {
+
+inline constexpr std::uint16_t kDhcpServerPort = 67;
+inline constexpr std::uint16_t kDhcpClientPort = 68;
+
+enum class DhcpOp : std::uint8_t {
+  kDiscover = 1,
+  kOffer = 2,
+  kRequest = 3,
+  kAck = 4,
+  kNak = 5,
+};
+
+const char* dhcp_op_name(DhcpOp op);
+
+/// The subset of BOOTP/DHCP fields LiveSec uses: message type, transaction
+/// id, client hardware address, offered/requested address, server id, lease.
+struct DhcpMessage {
+  DhcpOp op = DhcpOp::kDiscover;
+  std::uint32_t xid = 0;
+  MacAddress client_mac;
+  Ipv4Address your_ip;     // yiaddr: offered / acknowledged address
+  Ipv4Address server_ip;   // server identifier
+  std::uint32_t lease_seconds = 0;
+
+  /// Serializes to a UDP payload (magic-prefixed fixed layout).
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<DhcpMessage> decode(std::span<const std::uint8_t> payload);
+
+  /// Wraps into a full packet. Client messages broadcast; server messages
+  /// unicast to the client MAC.
+  Packet to_packet(MacAddress src_mac, Ipv4Address src_ip) const;
+};
+
+/// True when the packet is DHCP (UDP ports 67/68).
+bool is_dhcp_packet(const Packet& packet);
+
+}  // namespace livesec::pkt

@@ -1,0 +1,100 @@
+#include "packet/flow_key.h"
+
+#include <sstream>
+
+namespace livesec::pkt {
+
+FlowKey FlowKey::from_packet(const Packet& p) {
+  FlowKey k;
+  k.vlan_id = p.eth.vlan_id;
+  k.dl_src = p.eth.src;
+  k.dl_dst = p.eth.dst;
+  k.dl_type = p.eth.ether_type;
+  if (p.ipv4) {
+    k.nw_src = p.ipv4->src;
+    k.nw_dst = p.ipv4->dst;
+    k.nw_proto = p.ipv4->protocol;
+    if (p.tcp) {
+      k.tp_src = p.tcp->src_port;
+      k.tp_dst = p.tcp->dst_port;
+    } else if (p.udp) {
+      k.tp_src = p.udp->src_port;
+      k.tp_dst = p.udp->dst_port;
+    } else if (p.icmp) {
+      k.tp_src = static_cast<std::uint16_t>(p.icmp->type);  // OpenFlow: icmp_type in tp_src
+      k.tp_dst = 0;
+    }
+  } else if (p.arp) {
+    k.nw_src = p.arp->sender_ip;
+    k.nw_dst = p.arp->target_ip;
+    k.nw_proto = static_cast<std::uint8_t>(p.arp->op);
+  }
+  return k;
+}
+
+FlowKey FlowKey::reversed() const {
+  FlowKey k = *this;
+  std::swap(k.dl_src, k.dl_dst);
+  std::swap(k.nw_src, k.nw_dst);
+  std::swap(k.tp_src, k.tp_dst);
+  return k;
+}
+
+std::uint64_t FlowKey::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = hash_combine(h, vlan_id);
+  h = hash_combine(h, dl_src.to_uint64());
+  h = hash_combine(h, dl_dst.to_uint64());
+  h = hash_combine(h, dl_type);
+  h = hash_combine(h, nw_src.value());
+  h = hash_combine(h, nw_dst.value());
+  h = hash_combine(h, nw_proto);
+  h = hash_combine(h, tp_src);
+  h = hash_combine(h, tp_dst);
+  return splitmix64(h);
+}
+
+void FlowKey::encode(BufferWriter& w) const {
+  w.u16(vlan_id);
+  w.bytes(dl_src.bytes());
+  w.bytes(dl_dst.bytes());
+  w.u16(dl_type);
+  w.u32(nw_src.value());
+  w.u32(nw_dst.value());
+  w.u8(nw_proto);
+  w.u16(tp_src);
+  w.u16(tp_dst);
+}
+
+FlowKey FlowKey::decode(BufferReader& r) {
+  FlowKey k;
+  k.vlan_id = r.u16();
+  auto mac6 = [&r]() {
+    std::array<std::uint8_t, 6> b{};
+    for (auto& x : b) x = r.u8();
+    return MacAddress(b);
+  };
+  k.dl_src = mac6();
+  k.dl_dst = mac6();
+  k.dl_type = r.u16();
+  k.nw_src = Ipv4Address(r.u32());
+  k.nw_dst = Ipv4Address(r.u32());
+  k.nw_proto = r.u8();
+  k.tp_src = r.u16();
+  k.tp_dst = r.u16();
+  return k;
+}
+
+std::string FlowKey::to_string() const {
+  std::ostringstream out;
+  out << "[" << dl_src.to_string() << ">" << dl_dst.to_string();
+  if (vlan_id != kVlanNone) out << " vlan=" << vlan_id;
+  if (dl_type == static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    out << " " << nw_src.to_string() << ":" << tp_src << ">" << nw_dst.to_string() << ":" << tp_dst
+        << " proto=" << static_cast<int>(nw_proto);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace livesec::pkt

@@ -1,0 +1,156 @@
+#include "packet/headers.h"
+
+namespace livesec::pkt {
+
+void EthernetHeader::serialize(BufferWriter& w) const {
+  w.bytes(dst.bytes());
+  w.bytes(src.bytes());
+  if (vlan_id != kVlanNone) {
+    w.u16(static_cast<std::uint16_t>(EtherType::kVlan));
+    w.u16(vlan_id & 0x0FFF);
+  }
+  w.u16(ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(BufferReader& r) {
+  EthernetHeader h;
+  auto mac6 = [&r]() {
+    std::array<std::uint8_t, 6> b{};
+    for (auto& x : b) x = r.u8();
+    return MacAddress(b);
+  };
+  h.dst = mac6();
+  h.src = mac6();
+  std::uint16_t type = r.u16();
+  if (type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    h.vlan_id = r.u16() & 0x0FFF;
+    type = r.u16();
+  }
+  h.ether_type = type;
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void ArpHeader::serialize(BufferWriter& w) const {
+  w.u16(1);                 // htype: Ethernet
+  w.u16(0x0800);            // ptype: IPv4
+  w.u8(6);                  // hlen
+  w.u8(4);                  // plen
+  w.u16(static_cast<std::uint16_t>(op));
+  w.bytes(sender_mac.bytes());
+  w.u32(sender_ip.value());
+  w.bytes(target_mac.bytes());
+  w.u32(target_ip.value());
+}
+
+std::optional<ArpHeader> ArpHeader::parse(BufferReader& r) {
+  const std::uint16_t htype = r.u16();
+  const std::uint16_t ptype = r.u16();
+  const std::uint8_t hlen = r.u8();
+  const std::uint8_t plen = r.u8();
+  if (!r.ok() || htype != 1 || ptype != 0x0800 || hlen != 6 || plen != 4) return std::nullopt;
+  ArpHeader h;
+  h.op = static_cast<ArpOp>(r.u16());
+  auto mac6 = [&r]() {
+    std::array<std::uint8_t, 6> b{};
+    for (auto& x : b) x = r.u8();
+    return MacAddress(b);
+  };
+  h.sender_mac = mac6();
+  h.sender_ip = Ipv4Address(r.u32());
+  h.target_mac = mac6();
+  h.target_ip = Ipv4Address(r.u32());
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void Ipv4Header::serialize(BufferWriter& w, std::uint16_t total_length_out) const {
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(dscp);
+  w.u16(total_length_out);
+  w.u16(0);    // identification
+  w.u16(0);    // flags + fragment offset
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);    // checksum (not modeled; integrity is guaranteed in-sim)
+  w.u32(src.value());
+  w.u32(dst.value());
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(BufferReader& r) {
+  const std::uint8_t ver_ihl = r.u8();
+  if (!r.ok() || ver_ihl != 0x45) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = r.u8();
+  h.total_length = r.u16();
+  r.skip(4);  // id, flags/frag
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  r.skip(2);  // checksum
+  h.src = Ipv4Address(r.u32());
+  h.dst = Ipv4Address(r.u32());
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::serialize(BufferWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(flags);
+  w.u16(65535);  // window
+  w.u16(0);      // checksum
+  w.u16(0);      // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::parse(BufferReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t offset = r.u8();
+  if (!r.ok() || (offset >> 4) != 5) return std::nullopt;
+  h.flags = r.u8();
+  r.skip(6);  // window, checksum, urgent
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::serialize(BufferWriter& w, std::uint16_t payload_size) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(kSize + payload_size));
+  w.u16(0);  // checksum
+}
+
+std::optional<UdpHeader> UdpHeader::parse(BufferReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  r.skip(4);  // length, checksum
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void IcmpHeader::serialize(BufferWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);   // code
+  w.u16(0);  // checksum
+  w.u16(id);
+  w.u16(seq);
+}
+
+std::optional<IcmpHeader> IcmpHeader::parse(BufferReader& r) {
+  IcmpHeader h;
+  h.type = static_cast<IcmpType>(r.u8());
+  r.skip(3);  // code + checksum
+  h.id = r.u16();
+  h.seq = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+}  // namespace livesec::pkt

@@ -1,0 +1,115 @@
+// Protocol header definitions: Ethernet, 802.1Q VLAN, ARP, IPv4, TCP, UDP,
+// ICMP. Each header is a plain value struct with byte-exact serialize/parse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "packet/buffer.h"
+
+namespace livesec::pkt {
+
+/// EtherType values used by LiveSec.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+  kLldp = 0x88CC,
+};
+
+/// IP protocol numbers used by LiveSec.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+inline constexpr std::uint16_t kVlanNone = 0xFFFF;  // OpenFlow OFP_VLAN_NONE
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  /// 802.1Q VLAN id, or kVlanNone when untagged.
+  std::uint16_t vlan_id = kVlanNone;
+  std::uint16_t ether_type = 0;
+
+  static constexpr std::size_t kUntaggedSize = 14;
+  static constexpr std::size_t kTaggedSize = 18;
+
+  std::size_t wire_size() const { return vlan_id == kVlanNone ? kUntaggedSize : kTaggedSize; }
+  void serialize(BufferWriter& w) const;
+  static std::optional<EthernetHeader> parse(BufferReader& r);
+};
+
+enum class ArpOp : std::uint16_t { kRequest = 1, kReply = 2 };
+
+struct ArpHeader {
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+
+  static constexpr std::size_t kSize = 28;
+  void serialize(BufferWriter& w) const;
+  static std::optional<ArpHeader> parse(BufferReader& r);
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // filled by Packet::serialize
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  static constexpr std::size_t kSize = 20;  // no options
+  void serialize(BufferWriter& w, std::uint16_t total_length_out) const;
+  static std::optional<Ipv4Header> parse(BufferReader& r);
+};
+
+/// TCP flag bits (subset).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+
+  static constexpr std::size_t kSize = 20;  // no options
+  void serialize(BufferWriter& w) const;
+  static std::optional<TcpHeader> parse(BufferReader& r);
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  static constexpr std::size_t kSize = 8;
+  void serialize(BufferWriter& w, std::uint16_t payload_size) const;
+  static std::optional<UdpHeader> parse(BufferReader& r);
+};
+
+enum class IcmpType : std::uint8_t { kEchoReply = 0, kEchoRequest = 8 };
+
+struct IcmpHeader {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+
+  static constexpr std::size_t kSize = 8;
+  void serialize(BufferWriter& w) const;
+  static std::optional<IcmpHeader> parse(BufferReader& r);
+};
+
+}  // namespace livesec::pkt

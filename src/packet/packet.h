@@ -1,0 +1,86 @@
+// Structured packet model passed between simulated network elements.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/headers.h"
+
+namespace livesec::pkt {
+
+/// A network packet, held as parsed layers plus an immutable shared payload.
+///
+/// The simulation hot path passes `std::shared_ptr<const Packet>` so that a
+/// packet traversing N hops costs zero copies. Elements that rewrite headers
+/// (e.g. the ingress AS switch setting dl_dst to a service element's MAC,
+/// paper §IV.A) copy the Packet value — cheap, since the payload is shared.
+///
+/// `serialize()`/`parse()` convert to and from exact wire bytes; the service
+/// element daemon messages and the LLDP frames use this for real encoding.
+struct Packet {
+  EthernetHeader eth;
+  std::optional<ArpHeader> arp;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<IcmpHeader> icmp;
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+
+  /// Total size on the wire in bytes (headers + payload), used for
+  /// serialization-delay and throughput accounting.
+  std::size_t wire_size() const;
+
+  std::size_t payload_size() const { return payload ? payload->size() : 0; }
+  std::span<const std::uint8_t> payload_view() const {
+    return payload ? std::span<const std::uint8_t>(*payload) : std::span<const std::uint8_t>{};
+  }
+
+  /// Serializes to exact wire bytes (Ethernet frame).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses wire bytes back into a structured packet. Returns nullopt for
+  /// malformed frames. Unknown EtherTypes keep the remaining bytes as payload.
+  static std::optional<Packet> parse(std::span<const std::uint8_t> bytes);
+
+  /// One-line human-readable summary ("IPv4 10.0.0.1->10.0.0.2 TCP 80...").
+  std::string summary() const;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Wraps a Packet value into the shared immutable form used on the wire.
+inline PacketPtr finalize(Packet p) { return std::make_shared<const Packet>(std::move(p)); }
+
+/// Convenience payload construction from a string literal / string.
+std::shared_ptr<const std::vector<std::uint8_t>> make_payload(std::string_view text);
+std::shared_ptr<const std::vector<std::uint8_t>> make_payload(std::vector<std::uint8_t> bytes);
+/// A zero-filled payload of `size` bytes (bulk data traffic).
+std::shared_ptr<const std::vector<std::uint8_t>> make_payload(std::size_t size);
+
+/// Builder for the packet kinds LiveSec exercises. Keeps test and generator
+/// code short and uniform.
+class PacketBuilder {
+ public:
+  PacketBuilder& eth(MacAddress src, MacAddress dst,
+                     EtherType type = EtherType::kIpv4);
+  PacketBuilder& vlan(std::uint16_t vlan_id);
+  PacketBuilder& arp(ArpOp op, MacAddress sender_mac, Ipv4Address sender_ip,
+                     MacAddress target_mac, Ipv4Address target_ip);
+  PacketBuilder& ipv4(Ipv4Address src, Ipv4Address dst, IpProto proto);
+  PacketBuilder& tcp(std::uint16_t src_port, std::uint16_t dst_port, std::uint8_t flags = 0);
+  PacketBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  PacketBuilder& icmp(IcmpType type, std::uint16_t id, std::uint16_t seq);
+  PacketBuilder& payload(std::shared_ptr<const std::vector<std::uint8_t>> p);
+  PacketBuilder& payload(std::string_view text);
+  PacketBuilder& payload_size(std::size_t size);
+
+  Packet build() const { return packet_; }
+  PacketPtr finalize() const { return std::make_shared<const Packet>(packet_); }
+
+ private:
+  Packet packet_;
+};
+
+}  // namespace livesec::pkt

@@ -1,0 +1,170 @@
+#include "services/firewall/firewall_engine.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace livesec::svc::fw {
+
+const char* fw_action_name(FwAction action) {
+  return action == FwAction::kAllow ? "allow" : "deny";
+}
+
+bool FwRule::matches(const pkt::FlowKey& key) const {
+  if (src_ip && !src_ip->same_subnet(key.nw_src, src_prefix)) return false;
+  if (dst_ip && !dst_ip->same_subnet(key.nw_dst, dst_prefix)) return false;
+  if (proto && *proto != key.nw_proto) return false;
+  if (dst_port && *dst_port != key.tp_dst) return false;
+  return true;
+}
+
+FirewallEngine::FirewallEngine(std::vector<FwRule> rules, FwAction default_action, bool stateful)
+    : rules_(std::move(rules)), default_action_(default_action), stateful_(stateful) {}
+
+pkt::FlowKey FirewallEngine::session_key(const pkt::FlowKey& key) {
+  pkt::FlowKey normalized = key;
+  normalized.dl_src = MacAddress();
+  normalized.dl_dst = MacAddress();
+  normalized.vlan_id = pkt::kVlanNone;
+  return normalized;
+}
+
+FwVerdict FirewallEngine::filter(const pkt::Packet& packet) {
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(packet);
+  const pkt::FlowKey session = session_key(key);
+
+  if (stateful_) {
+    // Reply direction of an established session: allowed without rules.
+    if (established_.contains(session.reversed())) {
+      ++allowed_;
+      return FwVerdict{FwAction::kAllow, 0, true};
+    }
+  }
+
+  for (const FwRule& rule : rules_) {
+    if (!rule.matches(key)) continue;
+    if (rule.action == FwAction::kAllow) {
+      ++allowed_;
+      if (stateful_) established_.insert(session);
+      return FwVerdict{FwAction::kAllow, rule.id, false};
+    }
+    ++denied_;
+    return FwVerdict{FwAction::kDeny, rule.id, false};
+  }
+
+  if (default_action_ == FwAction::kAllow) {
+    ++allowed_;
+    if (stateful_) established_.insert(session);
+    return FwVerdict{FwAction::kAllow, 0, false};
+  }
+  ++denied_;
+  return FwVerdict{FwAction::kDeny, 0, false};
+}
+
+void FirewallEngine::forget_session(const pkt::FlowKey& flow) {
+  const pkt::FlowKey session = session_key(flow);
+  established_.erase(session);
+  established_.erase(session.reversed());
+}
+
+std::vector<FwRule> parse_fw_rules(std::string_view text, std::vector<std::string>& errors) {
+  std::vector<FwRule> rules;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    FwRule rule;
+    std::string action;
+    if (!(fields >> rule.id)) continue;  // blank
+    auto fail = [&](const std::string& why) {
+      errors.push_back("line " + std::to_string(line_no) + ": " + why);
+    };
+    if (!(fields >> rule.name >> action)) {
+      fail("expected '<id> <name> <action> ...'");
+      continue;
+    }
+    if (action == "allow") {
+      rule.action = FwAction::kAllow;
+    } else if (action == "deny") {
+      rule.action = FwAction::kDeny;
+    } else {
+      fail("unknown action '" + action + "'");
+      continue;
+    }
+    bool ok = true;
+    std::string token;
+    auto parse_cidr = [&](const std::string& value, std::optional<Ipv4Address>& ip,
+                          std::uint8_t& prefix) {
+      std::string_view view = value;
+      prefix = 32;
+      if (const auto slash = view.find('/'); slash != std::string_view::npos) {
+        unsigned bits = 0;
+        const auto tail = view.substr(slash + 1);
+        const auto [p, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), bits);
+        if (ec != std::errc() || p != tail.data() + tail.size() || bits > 32) return false;
+        prefix = static_cast<std::uint8_t>(bits);
+        view = view.substr(0, slash);
+      }
+      const auto parsed = Ipv4Address::parse(view);
+      if (!parsed) return false;
+      ip = *parsed;
+      return true;
+    };
+    while (ok && fields >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        fail("expected key=value, got '" + token + "'");
+        ok = false;
+        break;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "src") {
+        if (!parse_cidr(value, rule.src_ip, rule.src_prefix)) {
+          fail("bad src '" + value + "'");
+          ok = false;
+        }
+      } else if (key == "dst") {
+        if (!parse_cidr(value, rule.dst_ip, rule.dst_prefix)) {
+          fail("bad dst '" + value + "'");
+          ok = false;
+        }
+      } else if (key == "proto") {
+        if (value == "tcp") {
+          rule.proto = 6;
+        } else if (value == "udp") {
+          rule.proto = 17;
+        } else if (value == "icmp") {
+          rule.proto = 1;
+        } else {
+          unsigned num = 0;
+          const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), num);
+          if (ec != std::errc() || p != value.data() + value.size() || num > 255) {
+            fail("bad proto '" + value + "'");
+            ok = false;
+          } else {
+            rule.proto = static_cast<std::uint8_t>(num);
+          }
+        }
+      } else if (key == "dport") {
+        unsigned port = 0;
+        const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), port);
+        if (ec != std::errc() || p != value.data() + value.size() || port > 65535) {
+          fail("bad dport '" + value + "'");
+          ok = false;
+        } else {
+          rule.dst_port = static_cast<std::uint16_t>(port);
+        }
+      } else {
+        fail("unknown key '" + key + "'");
+        ok = false;
+      }
+    }
+    if (ok) rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace livesec::svc::fw

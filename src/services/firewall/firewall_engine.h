@@ -1,0 +1,79 @@
+// Stateful firewall engine for firewall-type service elements (paper §III.D
+// lists "firewall" among the services an SE can provide).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "packet/flow_key.h"
+
+namespace livesec::svc::fw {
+
+enum class FwAction : std::uint8_t { kAllow = 0, kDeny = 1 };
+
+const char* fw_action_name(FwAction action);
+
+/// One filter rule; absent predicates match anything, first match wins.
+struct FwRule {
+  std::uint32_t id = 0;
+  std::string name;
+  FwAction action = FwAction::kDeny;
+  std::optional<Ipv4Address> src_ip;
+  std::uint8_t src_prefix = 32;
+  std::optional<Ipv4Address> dst_ip;
+  std::uint8_t dst_prefix = 32;
+  std::optional<std::uint8_t> proto;
+  std::optional<std::uint16_t> dst_port;
+
+  bool matches(const pkt::FlowKey& key) const;
+};
+
+/// Verdict with attribution (which rule decided, or state/default).
+struct FwVerdict {
+  FwAction action = FwAction::kAllow;
+  std::uint32_t rule_id = 0;      // 0 = stateful match or default policy
+  bool by_state = false;          // true: allowed as reply of an established flow
+};
+
+/// First-match packet filter with optional connection tracking: a flow
+/// allowed by the ruleset establishes a session, and reply-direction packets
+/// of an established session are allowed without consulting the rules —
+/// standard "established/related" semantics.
+class FirewallEngine {
+ public:
+  FirewallEngine(std::vector<FwRule> rules, FwAction default_action = FwAction::kAllow,
+                 bool stateful = true);
+
+  FwVerdict filter(const pkt::Packet& packet);
+
+  /// Drops a tracked session (e.g. after FIN/RST or idle timeout).
+  void forget_session(const pkt::FlowKey& flow);
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::size_t established_sessions() const { return established_.size(); }
+  std::uint64_t allowed() const { return allowed_; }
+  std::uint64_t denied() const { return denied_; }
+
+ private:
+  /// Connection tracking key: the L3/L4 5-tuple only (MACs and VLAN zeroed)
+  /// — sessions survive L2 rewrites, as in a real conntrack table.
+  static pkt::FlowKey session_key(const pkt::FlowKey& key);
+
+  std::vector<FwRule> rules_;
+  FwAction default_action_;
+  bool stateful_;
+  /// Forward session keys of allowed flows; replies matched via reversed().
+  std::unordered_set<pkt::FlowKey> established_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+/// Parses textual firewall rules, one per line:
+///   <id> <name> <allow|deny> [src=CIDR] [dst=CIDR] [proto=tcp|udp|icmp|N] [dport=N]
+/// '#' comments and blank lines are skipped; bad lines land in `errors`.
+std::vector<FwRule> parse_fw_rules(std::string_view text, std::vector<std::string>& errors);
+
+}  // namespace livesec::svc::fw

@@ -1,0 +1,93 @@
+#include "services/ids/aho_corasick.h"
+
+#include <cassert>
+#include <queue>
+
+namespace livesec::svc::ids {
+
+std::uint32_t AhoCorasick::add_pattern(std::string_view pattern) {
+  assert(!built_ && "cannot add patterns after build()");
+  patterns_.emplace_back(pattern);
+  return static_cast<std::uint32_t>(patterns_.size() - 1);
+}
+
+void AhoCorasick::build() {
+  if (built_) return;
+  nodes_.clear();
+  nodes_.emplace_back();  // root = 0
+
+  // Phase 1: trie of all patterns.
+  for (std::uint32_t id = 0; id < patterns_.size(); ++id) {
+    std::uint32_t state = 0;
+    for (unsigned char c : patterns_[id]) {
+      if (nodes_[state].next[c] < 0) {
+        nodes_[state].next[c] = static_cast<std::int32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      state = static_cast<std::uint32_t>(nodes_[state].next[c]);
+    }
+    nodes_[state].output.push_back(id);
+  }
+
+  // Phase 2: BFS failure links; convert to a full goto function so scanning
+  // is a single table walk per byte.
+  std::queue<std::uint32_t> queue;
+  for (int c = 0; c < 256; ++c) {
+    const std::int32_t next = nodes_[0].next[c];
+    if (next < 0) {
+      nodes_[0].next[c] = 0;
+    } else {
+      nodes_[static_cast<std::uint32_t>(next)].fail = 0;
+      queue.push(static_cast<std::uint32_t>(next));
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t state = queue.front();
+    queue.pop();
+    const std::uint32_t fail = nodes_[state].fail;
+    // Inherit the fail state's outputs (suffix matches).
+    for (std::uint32_t id : nodes_[fail].output) nodes_[state].output.push_back(id);
+    for (int c = 0; c < 256; ++c) {
+      const std::int32_t next = nodes_[state].next[c];
+      if (next < 0) {
+        nodes_[state].next[c] = nodes_[fail].next[c];
+      } else {
+        nodes_[static_cast<std::uint32_t>(next)].fail =
+            static_cast<std::uint32_t>(nodes_[fail].next[c]);
+        queue.push(static_cast<std::uint32_t>(next));
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::size_t AhoCorasick::scan(std::span<const std::uint8_t> data, std::vector<Hit>& hits) const {
+  std::uint32_t state = 0;
+  return scan_stream(data, state, hits);
+}
+
+std::size_t AhoCorasick::scan_stream(std::span<const std::uint8_t> data, std::uint32_t& state,
+                                     std::vector<Hit>& hits) const {
+  assert(built_);
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    state = static_cast<std::uint32_t>(nodes_[state].next[data[i]]);
+    for (std::uint32_t id : nodes_[state].output) {
+      hits.push_back(Hit{id, i + 1});
+      ++found;
+    }
+  }
+  return found;
+}
+
+bool AhoCorasick::contains_any(std::span<const std::uint8_t> data) const {
+  assert(built_);
+  std::uint32_t state = 0;
+  for (std::uint8_t b : data) {
+    state = static_cast<std::uint32_t>(nodes_[state].next[b]);
+    if (!nodes_[state].output.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace livesec::svc::ids

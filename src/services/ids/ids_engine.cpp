@@ -1,0 +1,93 @@
+#include "services/ids/ids_engine.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace livesec::svc::ids {
+
+namespace {
+std::string fold_case(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+}  // namespace
+
+IdsEngine::IdsEngine() : IdsEngine(default_rules()) {}
+
+IdsEngine::IdsEngine(std::vector<Signature> rules) : rules_(std::move(rules)) {
+  for (std::uint32_t r = 0; r < rules_.size(); ++r) {
+    for (std::uint32_t c = 0; c < rules_[r].contents.size(); ++c) {
+      const std::string& content = rules_[r].contents[c];
+      const auto length = static_cast<std::uint32_t>(content.size());
+      if (rules_[r].nocase) {
+        automaton_nocase_.add_pattern(fold_case(content));
+        pattern_refs_nocase_.push_back(PatternRef{r, c, length});
+      } else {
+        automaton_.add_pattern(content);
+        pattern_refs_.push_back(PatternRef{r, c, length});
+      }
+    }
+  }
+  automaton_.build();
+  automaton_nocase_.build();
+}
+
+void IdsEngine::apply_hits(const std::vector<AhoCorasick::Hit>& hits,
+                           const std::vector<PatternRef>& refs, const pkt::Packet& packet,
+                           const pkt::FlowKey& key, FlowState& state,
+                           std::vector<Alert>& alerts) {
+  for (const auto& hit : hits) {
+    const PatternRef ref = refs[hit.pattern_id];
+    const Signature& rule = rules_[ref.rule_index];
+    if (!rule.matches_headers(packet)) continue;
+    // Stream-absolute position of this occurrence for offset/depth rules.
+    const std::uint64_t stream_end = state.stream_bytes + hit.end_offset;
+    if (!rule.position_ok(stream_end, ref.length)) continue;
+    if (std::find(state.fired.begin(), state.fired.end(), rule.id) != state.fired.end()) continue;
+
+    std::uint64_t& mask = state.progress[ref.rule_index];
+    mask |= (1ull << ref.content_index);
+    const std::uint64_t complete =
+        (rule.contents.size() >= 64) ? ~0ull : ((1ull << rule.contents.size()) - 1);
+    if ((mask & complete) == complete) {
+      state.fired.push_back(rule.id);
+      ++alerts_raised_;
+      alerts.push_back(Alert{rule.id, rule.name, rule.severity, key});
+    }
+  }
+}
+
+std::vector<Alert> IdsEngine::inspect(const pkt::Packet& packet) {
+  ++packets_inspected_;
+  bytes_inspected_ += packet.payload_size();
+
+  std::vector<Alert> alerts;
+  if (packet.payload_size() == 0) return alerts;
+
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(packet);
+  FlowState& state = flows_[key];
+
+  if (automaton_.pattern_count() > 0) {
+    std::vector<AhoCorasick::Hit> hits;
+    automaton_.scan_stream(packet.payload_view(), state.ac_state, hits);
+    apply_hits(hits, pattern_refs_, packet, key, state, alerts);
+  }
+  if (automaton_nocase_.pattern_count() > 0) {
+    // Fold the payload once; positions are unchanged by folding.
+    const auto payload = packet.payload_view();
+    std::vector<std::uint8_t> folded(payload.size());
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      folded[i] = static_cast<std::uint8_t>(std::tolower(payload[i]));
+    }
+    std::vector<AhoCorasick::Hit> hits;
+    automaton_nocase_.scan_stream(folded, state.ac_state_nocase, hits);
+    apply_hits(hits, pattern_refs_nocase_, packet, key, state, alerts);
+  }
+  state.stream_bytes += packet.payload_size();
+  return alerts;
+}
+
+void IdsEngine::forget_flow(const pkt::FlowKey& flow) { flows_.erase(flow); }
+
+}  // namespace livesec::svc::ids

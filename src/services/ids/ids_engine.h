@@ -1,0 +1,84 @@
+// The intrusion-detection engine run inside an IDS service element
+// (the repo's stand-in for the Snort port of paper §V.B.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/flow_key.h"
+#include "services/ids/aho_corasick.h"
+#include "services/ids/signature.h"
+
+namespace livesec::svc::ids {
+
+/// An alert produced by the engine for one flow.
+struct Alert {
+  std::uint32_t rule_id = 0;
+  std::string rule_name;
+  std::uint8_t severity = 0;
+  pkt::FlowKey flow;
+};
+
+/// Multi-pattern IDS over per-flow payload streams.
+///
+/// All rule contents are compiled into one Aho-Corasick automaton; per flow
+/// the engine keeps the automaton state plus the set of content patterns
+/// seen so far, so multi-content rules fire only once all their patterns
+/// have appeared in the flow (in any packet, even split across packets).
+/// Each flow alerts at most once per rule.
+class IdsEngine {
+ public:
+  explicit IdsEngine(std::vector<Signature> rules);
+
+  /// Engine over default_rules().
+  IdsEngine();
+
+  /// Inspects one packet; returns alerts newly fired by this packet.
+  std::vector<Alert> inspect(const pkt::Packet& packet);
+
+  /// Drops per-flow state (e.g. on FIN/RST or idle timeout).
+  void forget_flow(const pkt::FlowKey& flow);
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::size_t tracked_flows() const { return flows_.size(); }
+  std::uint64_t packets_inspected() const { return packets_inspected_; }
+  std::uint64_t bytes_inspected() const { return bytes_inspected_; }
+  std::uint64_t alerts_raised() const { return alerts_raised_; }
+
+ private:
+  struct FlowState {
+    std::uint32_t ac_state = 0;         // case-sensitive automaton state
+    std::uint32_t ac_state_nocase = 0;  // case-folded automaton state
+    std::uint64_t stream_bytes = 0;     // payload bytes seen before this packet
+    /// Per rule: bitmask of its content patterns already seen.
+    std::unordered_map<std::uint32_t, std::uint64_t> progress;
+    /// Rules that already alerted on this flow.
+    std::vector<std::uint32_t> fired;
+  };
+
+  struct PatternRef {
+    std::uint32_t rule_index;
+    std::uint32_t content_index;
+    std::uint32_t length;  // pattern length, for offset/depth checks
+  };
+
+  /// Applies one automaton's hits to the flow state; appends fired alerts.
+  void apply_hits(const std::vector<AhoCorasick::Hit>& hits,
+                  const std::vector<PatternRef>& refs, const pkt::Packet& packet,
+                  const pkt::FlowKey& key, FlowState& state, std::vector<Alert>& alerts);
+
+  std::vector<Signature> rules_;
+  AhoCorasick automaton_;         // case-sensitive contents
+  AhoCorasick automaton_nocase_;  // case-folded contents, scans folded bytes
+  std::vector<PatternRef> pattern_refs_;         // automaton pattern id -> rule content
+  std::vector<PatternRef> pattern_refs_nocase_;
+  std::unordered_map<pkt::FlowKey, FlowState> flows_;
+  std::uint64_t packets_inspected_ = 0;
+  std::uint64_t bytes_inspected_ = 0;
+  std::uint64_t alerts_raised_ = 0;
+};
+
+}  // namespace livesec::svc::ids

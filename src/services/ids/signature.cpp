@@ -1,0 +1,193 @@
+#include "services/ids/signature.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace livesec::svc::ids {
+
+bool Signature::matches_headers(const pkt::Packet& packet) const {
+  if (!packet.ipv4) return false;
+  if (proto != RuleProto::kAny &&
+      packet.ipv4->protocol != static_cast<std::uint8_t>(proto)) {
+    return false;
+  }
+  std::uint16_t pkt_src = 0;
+  std::uint16_t pkt_dst = 0;
+  if (packet.tcp) {
+    pkt_src = packet.tcp->src_port;
+    pkt_dst = packet.tcp->dst_port;
+  } else if (packet.udp) {
+    pkt_src = packet.udp->src_port;
+    pkt_dst = packet.udp->dst_port;
+  }
+  if (dst_port != 0 && pkt_dst != dst_port) return false;
+  if (src_port != 0 && pkt_src != src_port) return false;
+  return true;
+}
+
+namespace {
+
+/// Unescapes \xNN, \\ and \s sequences in a rule content field.
+std::optional<std::string> unescape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '\\') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    if (i + 1 >= raw.size()) return std::nullopt;
+    const char kind = raw[++i];
+    if (kind == '\\') {
+      out.push_back('\\');
+    } else if (kind == 's') {
+      out.push_back(' ');
+    } else if (kind == 'x') {
+      if (i + 2 >= raw.size()) return std::nullopt;
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return 10 + (c - 'a');
+        if (c >= 'A' && c <= 'F') return 10 + (c - 'A');
+        return -1;
+      };
+      const int hi = hex(raw[i + 1]);
+      const int lo = hex(raw[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Signature> parse_rules(std::string_view text, std::vector<std::string>& errors) {
+  std::vector<Signature> rules;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    Signature sig;
+    std::string proto;
+    std::string content;
+    int dst_port = -1;
+    int severity = -1;
+    if (!(fields >> sig.id >> sig.name >> proto >> dst_port >> severity >> content)) {
+      errors.push_back("line " + std::to_string(line_no) + ": expected 6 fields");
+      continue;
+    }
+    if (proto == "tcp") {
+      sig.proto = RuleProto::kTcp;
+    } else if (proto == "udp") {
+      sig.proto = RuleProto::kUdp;
+    } else if (proto == "icmp") {
+      sig.proto = RuleProto::kIcmp;
+    } else if (proto == "any") {
+      sig.proto = RuleProto::kAny;
+    } else {
+      errors.push_back("line " + std::to_string(line_no) + ": bad proto '" + proto + "'");
+      continue;
+    }
+    if (dst_port < 0 || dst_port > 65535 || severity < 1 || severity > 10) {
+      errors.push_back("line " + std::to_string(line_no) + ": bad port/severity");
+      continue;
+    }
+    sig.dst_port = static_cast<std::uint16_t>(dst_port);
+    sig.severity = static_cast<std::uint8_t>(severity);
+    bool bad_content = false;
+    std::size_t start = 0;
+    while (start <= content.size()) {
+      const std::size_t bar = content.find('|', start);
+      const std::string_view piece = bar == std::string::npos
+                                         ? std::string_view(content).substr(start)
+                                         : std::string_view(content).substr(start, bar - start);
+      auto unescaped = unescape(piece);
+      if (!unescaped || unescaped->empty()) {
+        bad_content = true;
+        break;
+      }
+      sig.contents.push_back(std::move(*unescaped));
+      if (bar == std::string::npos) break;
+      start = bar + 1;
+    }
+    if (bad_content) {
+      errors.push_back("line " + std::to_string(line_no) + ": bad content escapes");
+      continue;
+    }
+    // Optional trailing options column.
+    std::string opts;
+    bool bad_opts = false;
+    if (fields >> opts) {
+      std::size_t pos = 0;
+      while (pos <= opts.size()) {
+        const std::size_t comma = opts.find(',', pos);
+        const std::string item =
+            comma == std::string::npos ? opts.substr(pos) : opts.substr(pos, comma - pos);
+        auto parse_num = [&](const std::string& digits, std::uint32_t& out) {
+          const auto [ptr, ec] =
+              std::from_chars(digits.data(), digits.data() + digits.size(), out);
+          return ec == std::errc() && ptr == digits.data() + digits.size();
+        };
+        if (item == "nocase") {
+          sig.nocase = true;
+        } else if (item.rfind("offset=", 0) == 0) {
+          if (!parse_num(item.substr(7), sig.offset)) {
+            errors.push_back("line " + std::to_string(line_no) + ": bad offset");
+            bad_opts = true;
+            break;
+          }
+        } else if (item.rfind("depth=", 0) == 0) {
+          if (!parse_num(item.substr(6), sig.depth)) {
+            errors.push_back("line " + std::to_string(line_no) + ": bad depth");
+            bad_opts = true;
+            break;
+          }
+        } else {
+          errors.push_back("line " + std::to_string(line_no) + ": bad option '" + item + "'");
+          bad_opts = true;
+          break;
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+    if (bad_opts) continue;
+    rules.push_back(std::move(sig));
+  }
+  return rules;
+}
+
+const std::vector<Signature>& default_rules() {
+  static const std::vector<Signature> kRules = [] {
+    std::vector<std::string> errors;
+    // A compact cross-section of what the paper's Snort deployment would
+    // alert on: web attacks, shellcode, scanning, C2 beacons, EICAR.
+    auto rules = parse_rules(
+        "1001 web.sql-injection tcp 80 8 UNION\\sSELECT\n"
+        "1002 web.sql-injection-comment tcp 80 7 '\\sOR\\s1=1--\n"
+        "1003 web.xss-script-tag tcp 80 6 <script>alert(\n"
+        "1004 web.path-traversal tcp 80 7 ../../../etc/passwd\n"
+        "1005 web.cmd-injection tcp 80 8 ;cat\\s/etc/shadow\n"
+        "1006 exploit.x86-nop-sled any 0 9 \\x90\\x90\\x90\\x90\\x90\\x90\\x90\\x90\n"
+        "1007 exploit.shellcode-execve any 0 9 \\x31\\xc0\\x50\\x68\\x2f\\x2f\\x73\\x68\n"
+        "1008 malware.eicar-test any 0 10 X5O!P%@AP[4\\\\PZX54(P^)7CC)7}$EICAR\n"
+        "1009 c2.beacon-checkin tcp 0 8 BOTNET-CHECKIN|id=\n"
+        "1010 scan.nikto-probe tcp 80 4 Nikto\n"
+        "1011 dos.slowloris-marker tcp 80 5 X-a:\\sb\n"
+        "1012 malware.dropper-url tcp 80 9 GET\\s/dropper.exe\n"
+        "1013 policy.telnet-root udp 0 3 root:root\n"
+        "1014 web.malicious-site tcp 80 8 malware-distribution.example\n"
+        "1015 exfil.dns-tunnel udp 53 6 xfiltunnel\n",
+        errors);
+    return rules;
+  }();
+  return kRules;
+}
+
+}  // namespace livesec::svc::ids

@@ -1,0 +1,68 @@
+// Snort-like rule model for the intrusion-detection service element.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace livesec::svc::ids {
+
+/// Which transport a rule applies to.
+enum class RuleProto : std::uint8_t { kAny = 0, kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+/// A detection rule: "alert <proto> any any -> any <port> (content:...)".
+/// A rule fires when every content pattern occurs in a flow's payload stream
+/// and the protocol/port constraints hold.
+struct Signature {
+  std::uint32_t id = 0;
+  std::string name;
+  RuleProto proto = RuleProto::kAny;
+  /// Destination port constraint; 0 = any.
+  std::uint16_t dst_port = 0;
+  /// Source port constraint; 0 = any.
+  std::uint16_t src_port = 0;
+  /// All patterns must appear (logical AND), matching Snort multi-content.
+  std::vector<std::string> contents;
+  /// 1 (info) .. 10 (critical).
+  std::uint8_t severity = 5;
+
+  // Content modifiers (Snort-style, applied to every content of the rule):
+  /// Case-insensitive matching.
+  bool nocase = false;
+  /// Contents must start at or after this byte offset of the flow's payload
+  /// stream.
+  std::uint32_t offset = 0;
+  /// Contents must end within the first `offset + depth` stream bytes
+  /// (0 = unbounded).
+  std::uint32_t depth = 0;
+
+  bool matches_headers(const pkt::Packet& packet) const;
+
+  /// True when a content occurrence at stream position
+  /// [end - length, end) satisfies the offset/depth constraints.
+  bool position_ok(std::uint64_t end, std::size_t length) const {
+    const std::uint64_t start = end - length;
+    if (start < offset) return false;
+    if (depth != 0 && end > static_cast<std::uint64_t>(offset) + depth) return false;
+    return true;
+  }
+};
+
+/// Parses a compact textual rule format, one rule per line:
+///   id name proto dst_port severity content[|content2...] [opts]
+/// e.g. `1001 exploit.shellcode tcp 0 9 \x90\x90\x90\x90`
+///      `1020 web.login-probe tcp 80 4 admin nocase,offset=4,depth=64`
+/// Escapes: \xNN for arbitrary bytes, \\ and \s (space) in content.
+/// opts: comma list of `nocase`, `offset=N`, `depth=N`.
+/// Lines starting with '#' and blank lines are skipped.
+/// Returns parsed rules; malformed lines are collected into `errors`.
+std::vector<Signature> parse_rules(std::string_view text, std::vector<std::string>& errors);
+
+/// The built-in rule set modeling the Snort deployment of paper §V
+/// (web attacks, shellcode, scans, botnet C2, malicious-site markers).
+const std::vector<Signature>& default_rules();
+
+}  // namespace livesec::svc::ids

@@ -1,0 +1,113 @@
+#include "services/l7/l7_classifier.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace livesec::svc::l7 {
+
+const char* app_protocol_name(AppProtocol proto) {
+  switch (proto) {
+    case AppProtocol::kUnknown: return "unknown";
+    case AppProtocol::kHttp: return "http";
+    case AppProtocol::kSsh: return "ssh";
+    case AppProtocol::kBitTorrent: return "bittorrent";
+    case AppProtocol::kDns: return "dns";
+    case AppProtocol::kFtp: return "ftp";
+    case AppProtocol::kSmtp: return "smtp";
+    case AppProtocol::kTls: return "tls";
+    case AppProtocol::kSip: return "sip";
+    case AppProtocol::kRtp: return "rtp";
+  }
+  return "?";
+}
+
+const std::vector<ProtocolPattern>& default_patterns() {
+  static const std::vector<ProtocolPattern> kPatterns = {
+      {AppProtocol::kHttp, "GET ", true, 80},
+      {AppProtocol::kHttp, "POST ", true, 80},
+      {AppProtocol::kHttp, "HEAD ", true, 80},
+      {AppProtocol::kHttp, "HTTP/1.", false, 80},
+      {AppProtocol::kSsh, "SSH-2.0", true, 22},
+      {AppProtocol::kSsh, "SSH-1.99", true, 22},
+      {AppProtocol::kBitTorrent, "\x13" "BitTorrent protocol", true, 6881},
+      {AppProtocol::kBitTorrent, "d1:ad2:id20:", true, 6881},  // DHT query
+      {AppProtocol::kFtp, "220 ", true, 21},
+      {AppProtocol::kFtp, "USER ", true, 21},
+      {AppProtocol::kSmtp, "EHLO ", true, 25},
+      {AppProtocol::kSmtp, "HELO ", true, 25},
+      {AppProtocol::kTls, std::string("\x16\x03", 2), true, 443},
+      {AppProtocol::kSip, "INVITE sip:", true, 5060},
+      {AppProtocol::kSip, "REGISTER sip:", true, 5060},
+  };
+  return kPatterns;
+}
+
+L7Classifier::L7Classifier() : L7Classifier(default_patterns()) {}
+
+L7Classifier::L7Classifier(std::vector<ProtocolPattern> patterns)
+    : patterns_(std::move(patterns)) {}
+
+AppProtocol L7Classifier::match(const pkt::Packet& packet,
+                                std::span<const std::uint8_t> window) const {
+  // DNS: no reliable ASCII marker — use port + minimal header sanity, like
+  // l7-filter's dns pattern does structurally.
+  if (packet.udp && (packet.udp->dst_port == 53 || packet.udp->src_port == 53) &&
+      window.size() >= 12) {
+    return AppProtocol::kDns;
+  }
+  for (const ProtocolPattern& p : patterns_) {
+    if (p.pattern.size() > window.size()) continue;
+    const auto* pat = reinterpret_cast<const std::uint8_t*>(p.pattern.data());
+    if (p.anchored) {
+      if (std::memcmp(window.data(), pat, p.pattern.size()) == 0) return p.proto;
+    } else {
+      auto it = std::search(window.begin(), window.end(), pat, pat + p.pattern.size());
+      if (it != window.end()) return p.proto;
+    }
+  }
+  return AppProtocol::kUnknown;
+}
+
+Classification L7Classifier::classify(const pkt::Packet& packet) {
+  ++packets_seen_;
+  if (packet.payload_size() == 0) return {AppProtocol::kUnknown, false};
+
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(packet);
+  FlowState& state = flows_[key];
+  if (state.decided) return {state.verdict, false};
+
+  ++state.packets;
+  const auto payload = packet.payload_view();
+  const std::size_t room = config_.max_bytes_per_flow - state.window.size();
+  const std::size_t take = std::min(room, payload.size());
+  state.window.insert(state.window.end(), payload.begin(), payload.begin() + static_cast<std::ptrdiff_t>(take));
+
+  const AppProtocol verdict = match(packet, state.window);
+  if (verdict != AppProtocol::kUnknown) {
+    state.verdict = verdict;
+    state.decided = true;
+    state.window.clear();
+    state.window.shrink_to_fit();
+    ++flows_identified_;
+    return {verdict, true};
+  }
+  if (state.packets >= config_.max_packets_per_flow ||
+      state.window.size() >= config_.max_bytes_per_flow) {
+    state.decided = true;  // give up: stays unknown
+    state.window.clear();
+    state.window.shrink_to_fit();
+  }
+  return {AppProtocol::kUnknown, false};
+}
+
+std::optional<AppProtocol> L7Classifier::verdict(const pkt::FlowKey& flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end() || !it->second.decided || it->second.verdict == AppProtocol::kUnknown) {
+    return std::nullopt;
+  }
+  return it->second.verdict;
+}
+
+void L7Classifier::forget_flow(const pkt::FlowKey& flow) { flows_.erase(flow); }
+
+}  // namespace livesec::svc::l7

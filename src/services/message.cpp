@@ -1,0 +1,105 @@
+#include "services/message.h"
+
+#include "packet/buffer.h"
+
+namespace livesec::svc {
+
+const char* service_type_name(ServiceType type) {
+  switch (type) {
+    case ServiceType::kIntrusionDetection: return "intrusion_detection";
+    case ServiceType::kProtocolIdentification: return "protocol_identification";
+    case ServiceType::kVirusScan: return "virus_scan";
+    case ServiceType::kContentInspection: return "content_inspection";
+    case ServiceType::kFirewall: return "firewall";
+  }
+  return "?";
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAttackDetected: return "attack_detected";
+    case EventKind::kProtocolIdentified: return "protocol_identified";
+    case EventKind::kVirusFound: return "virus_found";
+    case EventKind::kContentViolation: return "content_violation";
+    case EventKind::kFirewallDenied: return "firewall_denied";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint8_t kTypeOnline = 1;
+constexpr std::uint8_t kTypeEvent = 2;
+
+}  // namespace
+
+std::vector<std::uint8_t> DaemonMessage::encode() const {
+  pkt::BufferWriter w;
+  w.u32(kMessageMagic);
+  w.u8(kMessageVersion);
+  w.u8(std::holds_alternative<OnlineMessage>(body) ? kTypeOnline : kTypeEvent);
+  w.u64(se_id);
+  w.u64(cert_token);
+  if (const auto* online = std::get_if<OnlineMessage>(&body)) {
+    w.u8(static_cast<std::uint8_t>(online->service));
+    w.u8(online->cpu_percent);
+    w.u16(online->memory_mb);
+    w.u32(online->packets_per_second);
+    w.u64(online->processed_packets_total);
+    w.u64(online->processed_bytes_total);
+    w.u32(online->queued_packets);
+    w.u64(online->capacity_bps);
+  } else {
+    const auto& event = std::get<EventMessage>(body);
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.u32(event.rule_id);
+    w.u8(event.severity);
+    w.u64(event.observed_dpid);
+    w.u32(event.observed_port);
+    event.flow.encode(w);
+    w.length_prefixed_string(event.description);
+  }
+  return w.take();
+}
+
+std::optional<DaemonMessage> DaemonMessage::decode(std::span<const std::uint8_t> payload) {
+  pkt::BufferReader r(payload);
+  if (r.u32() != kMessageMagic) return std::nullopt;
+  if (r.u8() != kMessageVersion) return std::nullopt;
+  const std::uint8_t type = r.u8();
+  DaemonMessage m;
+  m.se_id = r.u64();
+  m.cert_token = r.u64();
+  if (type == kTypeOnline) {
+    OnlineMessage online;
+    online.service = static_cast<ServiceType>(r.u8());
+    online.cpu_percent = r.u8();
+    online.memory_mb = r.u16();
+    online.packets_per_second = r.u32();
+    online.processed_packets_total = r.u64();
+    online.processed_bytes_total = r.u64();
+    online.queued_packets = r.u32();
+    online.capacity_bps = r.u64();
+    m.body = online;
+  } else if (type == kTypeEvent) {
+    EventMessage event;
+    event.kind = static_cast<EventKind>(r.u8());
+    event.rule_id = r.u32();
+    event.severity = r.u8();
+    event.observed_dpid = r.u64();
+    event.observed_port = r.u32();
+    event.flow = pkt::FlowKey::decode(r);
+    event.description = r.length_prefixed_string();
+    m.body = std::move(event);
+  } else {
+    return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+bool is_daemon_packet(const pkt::Packet& packet) {
+  return packet.udp.has_value() && packet.udp->dst_port == kLiveSecPort;
+}
+
+}  // namespace livesec::svc

@@ -1,0 +1,98 @@
+// The LiveSec service-element <-> controller communication mechanism
+// (paper §III.D.1): specially formatted UDP datagrams that the AS switch
+// always punts to the controller (no flow entry is ever installed for them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "common/types.h"
+#include "packet/flow_key.h"
+
+namespace livesec::svc {
+
+/// UDP destination port reserved for LiveSec daemon messages.
+inline constexpr std::uint16_t kLiveSecPort = 50001;
+
+/// Magic identifier at the start of every daemon message ("LVSC").
+inline constexpr std::uint32_t kMessageMagic = 0x4C565343;
+
+inline constexpr std::uint8_t kMessageVersion = 1;
+
+/// Network services a VM-based service element can provide (paper §III.D:
+/// "protocol identification, firewall, intrusion detection, virus scanning,
+/// content inspection, and so on").
+enum class ServiceType : std::uint8_t {
+  kIntrusionDetection = 1,
+  kProtocolIdentification = 2,
+  kVirusScan = 3,
+  kContentInspection = 4,
+  kFirewall = 5,
+};
+
+const char* service_type_name(ServiceType type);
+
+/// Real-time on-line message: confirms SE existence, declares the service
+/// type, and attaches load information (paper: "CPU utility, memory
+/// footprint and number of processed packets per second").
+struct OnlineMessage {
+  ServiceType service = ServiceType::kIntrusionDetection;
+  std::uint8_t cpu_percent = 0;
+  std::uint16_t memory_mb = 0;
+  std::uint32_t packets_per_second = 0;
+  std::uint64_t processed_packets_total = 0;
+  std::uint64_t processed_bytes_total = 0;
+  std::uint32_t queued_packets = 0;
+  std::uint64_t capacity_bps = 0;
+};
+
+/// What an event report announces.
+enum class EventKind : std::uint8_t {
+  kAttackDetected = 1,
+  kProtocolIdentified = 2,
+  kVirusFound = 3,
+  kContentViolation = 4,
+  kFirewallDenied = 5,
+};
+
+const char* event_kind_name(EventKind kind);
+
+/// Event report message: produced when the SE's network service yields a
+/// result; carries the detected flow's identity so the controller can act on
+/// the end-to-end flow (paper §IV.A: the "12-tuple information of the
+/// detected flow and the corresponding attack type").
+struct EventMessage {
+  EventKind kind = EventKind::kAttackDetected;
+  std::uint32_t rule_id = 0;   // IDS rule or protocol id
+  std::uint8_t severity = 0;   // 0..10
+  DatapathId observed_dpid = 0;
+  PortId observed_port = kInvalidPort;
+  pkt::FlowKey flow;           // the 9-tuple; with dpid+port = the 12-tuple
+  std::string description;
+};
+
+/// Envelope common to both message types.
+struct DaemonMessage {
+  std::uint64_t se_id = 0;
+  std::uint64_t cert_token = 0;  // issued by the controller (§III.D.1)
+  std::variant<OnlineMessage, EventMessage> body;
+
+  /// Serializes to the UDP payload byte format.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses a UDP payload; nullopt when the magic/version/format is wrong
+  /// (the controller's "message parsing module ... check[s] if the message
+  /// identifier is legitimate").
+  static std::optional<DaemonMessage> decode(std::span<const std::uint8_t> payload);
+};
+
+/// True when a packet looks like a LiveSec daemon message (UDP to the
+/// reserved port). The controller still validates magic and certification.
+bool is_daemon_packet(const pkt::Packet& packet);
+
+}  // namespace livesec::svc

@@ -1,0 +1,40 @@
+#include "services/scanner/virus_scanner.h"
+
+namespace livesec::svc::scanner {
+
+const std::vector<VirusSignature>& default_virus_signatures() {
+  static const std::vector<VirusSignature> kSignatures = {
+      {1, "EICAR-Test-File", "X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR-STANDARD-ANTIVIRUS-TEST-FILE!",
+       10},
+      {2, "Synthetic.Worm.A", "WORM_A_PAYLOAD_MARKER_0xDEADBEEF", 9},
+      {3, "Synthetic.Trojan.B", "TROJAN_B_STAGE2_LOADER", 9},
+      {4, "Synthetic.Ransom.C", "YOUR_FILES_ARE_ENCRYPTED_PAY_NOW", 10},
+      {5, "Synthetic.Miner.D", "stratum+tcp://pool.synthetic.example", 6},
+  };
+  return kSignatures;
+}
+
+VirusScanner::VirusScanner() : VirusScanner(default_virus_signatures()) {}
+
+VirusScanner::VirusScanner(std::vector<VirusSignature> signatures)
+    : signatures_(std::move(signatures)) {
+  for (const auto& sig : signatures_) automaton_.add_pattern(sig.pattern);
+  automaton_.build();
+}
+
+std::vector<VirusScanner::Detection> VirusScanner::scan(const pkt::Packet& packet) {
+  ++packets_scanned_;
+  std::vector<Detection> detections;
+  if (packet.payload_size() == 0) return detections;
+
+  std::vector<ids::AhoCorasick::Hit> hits;
+  automaton_.scan(packet.payload_view(), hits);
+  for (const auto& hit : hits) {
+    const VirusSignature& sig = signatures_[hit.pattern_id];
+    detections.push_back(Detection{sig.id, sig.family, sig.severity});
+    ++detections_total_;
+  }
+  return detections;
+}
+
+}  // namespace livesec::svc::scanner

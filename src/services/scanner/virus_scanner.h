@@ -1,0 +1,54 @@
+// Virus-scanning / content-inspection engine (paper §III.D lists "virus
+// scanning, content inspection" among the services a SE can provide).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+#include "services/ids/aho_corasick.h"
+
+namespace livesec::svc::scanner {
+
+/// A content signature: malware family name + byte pattern.
+struct VirusSignature {
+  std::uint32_t id = 0;
+  std::string family;
+  std::string pattern;
+  std::uint8_t severity = 10;
+};
+
+/// Built-in signature set (EICAR plus synthetic families exercised by the
+/// failure-injection tests).
+const std::vector<VirusSignature>& default_virus_signatures();
+
+/// Stateless per-packet scanner: payload bytes against all signatures in one
+/// Aho-Corasick pass. Unlike the IDS it does not track flow state — file
+/// content markers are self-contained.
+class VirusScanner {
+ public:
+  struct Detection {
+    std::uint32_t signature_id;
+    std::string family;
+    std::uint8_t severity;
+  };
+
+  VirusScanner();
+  explicit VirusScanner(std::vector<VirusSignature> signatures);
+
+  /// Scans one packet's payload; returns all detections.
+  std::vector<Detection> scan(const pkt::Packet& packet);
+
+  std::size_t signature_count() const { return signatures_.size(); }
+  std::uint64_t packets_scanned() const { return packets_scanned_; }
+  std::uint64_t detections_total() const { return detections_total_; }
+
+ private:
+  std::vector<VirusSignature> signatures_;
+  ids::AhoCorasick automaton_;
+  std::uint64_t packets_scanned_ = 0;
+  std::uint64_t detections_total_ = 0;
+};
+
+}  // namespace livesec::svc::scanner

@@ -1,0 +1,124 @@
+// VM-based service element: the off-path middlebox of paper §III.D.1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "services/firewall/firewall_engine.h"
+#include "services/ids/ids_engine.h"
+#include "services/l7/l7_classifier.h"
+#include "services/message.h"
+#include "services/scanner/virus_scanner.h"
+#include "sim/node.h"
+
+namespace livesec::svc {
+
+/// Destination addresses of daemon messages. Any UDP datagram to this
+/// address misses every flow table (the controller never installs an entry
+/// for it, §III.D.1) and is therefore punted to the controller on every hop.
+MacAddress controller_service_mac();
+Ipv4Address controller_service_ip();
+
+/// A VM hosting one network-service engine, attached to an AS switch via a
+/// single virtual NIC (port 0).
+///
+/// Operation (bypass mode, paper §V.B.1): a redirected packet arrives with
+/// dl_dst rewritten to this SE's MAC; it queues behind a finite processing
+/// budget (bytes*8/processing_bps + fixed per-packet cost), is inspected by
+/// the engine, and is then reflected back out unchanged — the AS switch's
+/// return-path entry carries it onward. Verdicts become EVENT daemon
+/// messages; liveness and load become periodic ONLINE messages.
+class ServiceElement : public sim::Node {
+ public:
+  struct Config {
+    std::uint64_t se_id = 0;
+    MacAddress mac;
+    Ipv4Address ip;
+    ServiceType service = ServiceType::kIntrusionDetection;
+    /// Bulk inspection rate. Paper §V.B.1: a single VM-based SE sustains
+    /// ~500 Mbps in bypass mode.
+    double processing_bps = 500e6;
+    /// Extra per-byte cost of deep HTTP inspection; 500/421 reproduces the
+    /// paper's 421 Mbps single-SE HTTP result.
+    double http_inspect_factor = 500.0 / 421.0;
+    /// Fixed per-packet engine cost.
+    SimTime per_packet_overhead = 1 * kMicrosecond;
+    SimTime heartbeat_interval = 2 * kSecond;
+    /// Certification token issued by the controller (0 = uncertified; its
+    /// traffic will be dropped at the ingress AS switch, §III.D.1).
+    std::uint64_t cert_token = 0;
+    /// Packets queued beyond this are dropped (VM overload).
+    std::size_t max_queue_packets = 4096;
+    /// Simulated VM memory footprint reported in ONLINE messages.
+    std::uint16_t memory_mb = 512;
+    /// Custom IDS ruleset; empty = ids::default_rules(). Lets operators roll
+    /// out new signatures per SE generation.
+    std::vector<ids::Signature> ids_rules;
+    /// Firewall ruleset (kFirewall service): first match wins.
+    std::vector<fw::FwRule> firewall_rules;
+    /// Firewall default policy when no rule matches.
+    fw::FwAction firewall_default = fw::FwAction::kAllow;
+  };
+
+  ServiceElement(sim::Simulator& sim, std::string name, Config config);
+
+  /// Starts the service daemon: sends the first ONLINE message immediately
+  /// and then every heartbeat_interval.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  void handle_packet(PortId in_port, pkt::PacketPtr packet) override;
+
+  const Config& config() const { return config_; }
+  MacAddress mac() const { return config_.mac; }
+  Ipv4Address ip() const { return config_.ip; }
+  std::uint64_t se_id() const { return config_.se_id; }
+  ServiceType service() const { return config_.service; }
+
+  std::uint64_t processed_packets() const { return processed_packets_; }
+  std::uint64_t processed_bytes() const { return processed_bytes_; }
+  std::uint64_t overload_drops() const { return overload_drops_; }
+  std::uint64_t events_sent() const { return events_sent_; }
+  std::size_t queue_depth() const { return queued_packets_; }
+
+  ids::IdsEngine& ids_engine() { return ids_; }
+  l7::L7Classifier& l7_classifier() { return l7_; }
+  scanner::VirusScanner& virus_scanner() { return scanner_; }
+  fw::FirewallEngine& firewall() { return firewall_; }
+
+ private:
+  void process(pkt::PacketPtr packet);
+  void send_heartbeat();
+  void send_event(EventMessage event);
+  pkt::PacketPtr wrap_daemon_message(const DaemonMessage& message) const;
+  /// Service time for one packet under this SE's budget.
+  SimTime service_time(const pkt::Packet& packet) const;
+
+  Config config_;
+  bool running_ = false;
+  std::uint64_t heartbeat_epoch_ = 0;  // invalidates pending heartbeats on stop()
+
+  // Processing pipeline state (busy-until serialization, like a link).
+  SimTime busy_until_ = 0;
+  std::size_t queued_packets_ = 0;
+
+  // Engines (only the one matching config_.service is exercised).
+  ids::IdsEngine ids_;
+  l7::L7Classifier l7_;
+  scanner::VirusScanner scanner_;
+  fw::FirewallEngine firewall_;
+
+  // Stats.
+  std::uint64_t processed_packets_ = 0;
+  std::uint64_t processed_bytes_ = 0;
+  std::uint64_t overload_drops_ = 0;
+  std::uint64_t events_sent_ = 0;
+  std::uint64_t last_report_packets_ = 0;
+  SimTime last_report_time_ = 0;
+};
+
+}  // namespace livesec::svc

@@ -1,0 +1,21 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace livesec::sim {
+
+std::uint64_t EventQueue::push(SimTime time, std::function<void()> action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{time, seq, std::move(action)});
+  return seq;
+}
+
+Event EventQueue::pop() {
+  // priority_queue::top() returns const&; moving out of the const reference
+  // would silently copy, so copy explicitly then pop.
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace livesec::sim

@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace livesec::sim {
+
+/// A pending simulation event: a callback to run at an absolute sim time.
+/// Ties on time are broken by insertion sequence so execution order is fully
+/// deterministic regardless of container internals.
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Inserts an event at absolute time `time`. Returns the sequence number
+  /// assigned (useful for debugging; events cannot be cancelled — schedule a
+  /// guard flag instead, which is how timeouts are implemented).
+  std::uint64_t push(SimTime time, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest pending event. Precondition: !empty().
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace livesec::sim

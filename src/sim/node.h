@@ -1,0 +1,141 @@
+// Node/Port/Link: the physical substrate of the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "packet/packet.h"
+
+namespace livesec::sim {
+
+class Simulator;
+class Node;
+class Link;
+
+/// One physical interface of a Node. Ports are created by the node and wired
+/// to at most one Link.
+class Port {
+ public:
+  Port(Node& owner, PortId id) : owner_(&owner), id_(id) {}
+
+  PortId id() const { return id_; }
+  Node& owner() const { return *owner_; }
+  Link* link() const { return link_; }
+  bool connected() const { return link_ != nullptr; }
+
+  /// Transmits a packet onto the attached link (no-op + drop counter when
+  /// unwired). Delivery to the peer is scheduled by the link.
+  void transmit(pkt::PacketPtr packet);
+
+  /// Called by the link when a packet arrives at this port.
+  void receive(pkt::PacketPtr packet);
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  friend class Link;
+
+  Node* owner_;
+  PortId id_;
+  Link* link_ = nullptr;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// A full-duplex point-to-point link with finite bandwidth, propagation
+/// delay, and a bounded FIFO transmit queue per direction.
+///
+/// Serialization time = bytes*8/bandwidth; a packet finishing serialization
+/// then propagates for `propagation_delay`. When the queue backlog exceeds
+/// `max_queue_bytes` the packet is dropped (tail drop), which is what caps
+/// throughput at link capacity in every experiment of paper §V.B.1.
+class Link {
+ public:
+  struct Config {
+    double bandwidth_bps = 1e9;       // 1 GbE by default
+    SimTime propagation_delay = 5 * kMicrosecond;
+    std::size_t max_queue_bytes = 512 * 1024;
+  };
+
+  Link(Simulator& sim, Port& a, Port& b, Config config);
+  ~Link();
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  const Config& config() const { return config_; }
+
+  /// Bytes currently queued/serializing in the a->b (idx 0) or b->a (idx 1)
+  /// direction.
+  std::size_t backlog_bytes(int direction) const { return backlog_[direction]; }
+
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+ private:
+  friend class Port;
+
+  /// Enqueues `packet` for transmission from `from`; drops on overflow.
+  void enqueue(Port& from, pkt::PacketPtr packet);
+
+  Simulator* sim_;
+  Port* a_;
+  Port* b_;
+  Config config_;
+  // Per-direction serializer state: the time at which the sender's "wire"
+  // becomes free again, plus current backlog for tail-drop decisions.
+  SimTime busy_until_[2] = {0, 0};
+  std::size_t backlog_[2] = {0, 0};
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+};
+
+/// Base class for anything that owns ports and reacts to packets: hosts,
+/// legacy switches, AS switches, Wi-Fi APs, service element hypervisor NICs.
+class Node {
+ public:
+  Node(Simulator& sim, std::string name) : sim_(&sim), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Simulator& simulator() const { return *sim_; }
+  const std::string& name() const { return name_; }
+
+  /// Creates a new port with the next free id and returns it.
+  Port& add_port();
+
+  Port& port(PortId id) { return *ports_.at(id); }
+  const Port& port(PortId id) const { return *ports_.at(id); }
+  std::size_t port_count() const { return ports_.size(); }
+
+  /// Invoked when a packet arrives on `in_port`.
+  virtual void handle_packet(PortId in_port, pkt::PacketPtr packet) = 0;
+
+ protected:
+  /// Sends `packet` out of port `out`, if that port exists and is wired.
+  void send(PortId out, pkt::PacketPtr packet);
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+/// Wires two ports together with a fresh link owned by the returned pointer.
+std::unique_ptr<Link> connect(Simulator& sim, Port& a, Port& b, Link::Config config = {});
+
+}  // namespace livesec::sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace livesec::sim {
+
+void Simulator::schedule(SimTime delay, std::function<void()> action) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> action) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(when, std::move(action));
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.pop();
+  now_ = e.time;
+  e.action();
+  return true;
+}
+
+}  // namespace livesec::sim

@@ -1,0 +1,44 @@
+// The simulation kernel: virtual clock plus event dispatch loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace livesec::sim {
+
+/// Single-threaded discrete-event simulator.
+///
+/// Every network element (link, switch, host, service element, controller
+/// channel) schedules its work through one `Simulator`, which guarantees a
+/// globally ordered, reproducible execution.
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` ns from now (delay >= 0).
+  void schedule(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute simulated time `when` (>= now()).
+  void schedule_at(SimTime when, std::function<void()> action);
+
+  /// Runs events until the queue drains. Returns the number of events run.
+  std::uint64_t run();
+
+  /// Runs events with time <= `deadline`, then advances the clock to
+  /// `deadline` (even if the queue drained earlier). Returns events run.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs at most one event. Returns false if the queue was empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace livesec::sim

@@ -1,0 +1,76 @@
+#include "switching/spanning_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace livesec::sw {
+
+namespace {
+
+/// Union-find over arbitrary node ids.
+class DisjointSet {
+ public:
+  std::uint32_t find(std::uint32_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    const std::uint32_t root = find(it->second);
+    parent_[x] = root;
+    return root;
+  }
+
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t ra = find(a);
+    const std::uint32_t rb = find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> parent_;
+};
+
+}  // namespace
+
+void SpanningTree::add_edge(Edge edge) {
+  nodes_.insert(edge.a.node);
+  nodes_.insert(edge.b.node);
+  edges_.push_back(edge);
+}
+
+std::pair<std::vector<SpanningTree::Edge>, std::vector<SpanningTree::Edge>> SpanningTree::kruskal()
+    const {
+  std::vector<Edge> sorted = edges_;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Edge& x, const Edge& y) {
+    if (x.cost != y.cost) return x.cost < y.cost;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  DisjointSet ds;
+  std::vector<Edge> tree;
+  std::vector<Edge> blocked;
+  for (const Edge& e : sorted) {
+    if (ds.unite(e.a.node, e.b.node)) {
+      tree.push_back(e);
+    } else {
+      blocked.push_back(e);
+    }
+  }
+  return {std::move(tree), std::move(blocked)};
+}
+
+std::vector<SpanningTree::Edge> SpanningTree::compute_blocked() const { return kruskal().second; }
+
+std::vector<SpanningTree::Edge> SpanningTree::compute_tree() const { return kruskal().first; }
+
+bool SpanningTree::connected() const {
+  if (nodes_.size() <= 1) return true;
+  return kruskal().first.size() == nodes_.size() - 1;
+}
+
+}  // namespace livesec::sw

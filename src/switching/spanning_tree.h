@@ -1,0 +1,56 @@
+// Spanning-tree computation for loop-free legacy switching (paper §III.C.1:
+// "we owe this feature to the spanning tree protocol ... in the legacy
+// switching network").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace livesec::sw {
+
+/// An undirected graph of legacy switches; edges carry the (switch, port)
+/// pair on each side so that the computed blocked set can be applied back to
+/// EthernetSwitch instances.
+class SpanningTree {
+ public:
+  struct EdgeEnd {
+    std::uint32_t node;
+    std::uint32_t port;
+    friend auto operator<=>(const EdgeEnd&, const EdgeEnd&) = default;
+  };
+  struct Edge {
+    EdgeEnd a;
+    EdgeEnd b;
+    /// Lower cost edges are preferred in the tree. Ties broken by (a, b) ids
+    /// so the computation is deterministic (mirrors STP's bridge-id ordering).
+    std::uint32_t cost = 1;
+  };
+
+  void add_node(std::uint32_t node) { nodes_.insert(node); }
+  void add_edge(Edge edge);
+
+  /// Computes a minimum spanning forest (Kruskal). Returns the edges NOT in
+  /// the tree — the ones whose ports must be blocked to break loops.
+  std::vector<Edge> compute_blocked() const;
+
+  /// Edges in the spanning tree itself.
+  std::vector<Edge> compute_tree() const;
+
+  /// True when the graph is connected (single tree covers all nodes).
+  bool connected() const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  /// Partitions edges into (tree, blocked).
+  std::pair<std::vector<Edge>, std::vector<Edge>> kruskal() const;
+
+  std::set<std::uint32_t> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace livesec::sw

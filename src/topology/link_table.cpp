@@ -1,0 +1,56 @@
+#include "topology/link_table.h"
+
+#include <sstream>
+
+namespace livesec::topo {
+
+void LinkTable::add(const AsLink& link) {
+  links_[{link.src, link.dst}] = link;
+  links_[{link.dst, link.src}] = AsLink{link.dst, link.dst_port, link.src, link.src_port};
+}
+
+void LinkTable::remove_switch(DatapathId dpid) {
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->first.first == dpid || it->first.second == dpid) {
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<AsLink> LinkTable::find(DatapathId src, DatapathId dst) const {
+  auto it = links_.find({src, dst});
+  if (it == links_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<AsLink> LinkTable::links_from(DatapathId src) const {
+  std::vector<AsLink> out;
+  for (const auto& [key, link] : links_) {
+    if (key.first == src) out.push_back(link);
+  }
+  return out;
+}
+
+bool LinkTable::is_full_mesh(const std::vector<DatapathId>& switches) const {
+  for (DatapathId a : switches) {
+    for (DatapathId b : switches) {
+      if (a == b) continue;
+      if (!links_.contains({a, b})) return false;
+    }
+  }
+  return true;
+}
+
+std::string LinkTable::dump() const {
+  std::ostringstream out;
+  out << "link_table(" << links_.size() << " directed links)\n";
+  for (const auto& [key, link] : links_) {
+    out << "  dpid " << link.src << " port " << link.src_port << " -> dpid " << link.dst
+        << " port " << link.dst_port << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace livesec::topo

@@ -1,0 +1,56 @@
+// The controller's link table: how to get from one AS switch to another
+// (paper §III.C.2: "keep track of the mapping relationship in the link
+// table").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace livesec::topo {
+
+/// One logical adjacency in the full-mesh Access-Switching topology:
+/// leaving `src` via `src_port` reaches `dst` on `dst_port` (through the
+/// transparent legacy fabric).
+struct AsLink {
+  DatapathId src = 0;
+  PortId src_port = kInvalidPort;
+  DatapathId dst = 0;
+  PortId dst_port = kInvalidPort;
+
+  friend auto operator<=>(const AsLink&, const AsLink&) = default;
+};
+
+/// Bidirectional map of discovered AS-layer links. In LiveSec each AS switch
+/// attaches to the legacy fabric through its Legacy-Switching port, and the
+/// fabric guarantees reachability between any pair — a full mesh. The table
+/// answers "which ports connect switch A to switch B".
+class LinkTable {
+ public:
+  /// Records a link in both directions.
+  void add(const AsLink& link);
+  void remove_switch(DatapathId dpid);
+
+  /// Ports connecting src -> dst, if known.
+  std::optional<AsLink> find(DatapathId src, DatapathId dst) const;
+
+  /// All links from `src`.
+  std::vector<AsLink> links_from(DatapathId src) const;
+
+  /// Total number of directed links.
+  std::size_t size() const { return links_.size(); }
+
+  /// True when every distinct ordered switch pair in `switches` has a link.
+  bool is_full_mesh(const std::vector<DatapathId>& switches) const;
+
+  std::string dump() const;
+
+ private:
+  std::map<std::pair<DatapathId, DatapathId>, AsLink> links_;
+};
+
+}  // namespace livesec::topo

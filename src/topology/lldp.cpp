@@ -1,0 +1,71 @@
+#include "topology/lldp.h"
+
+#include "packet/buffer.h"
+
+namespace livesec::topo {
+
+namespace {
+// TLV types from IEEE 802.1AB.
+constexpr std::uint8_t kTlvChassisId = 1;
+constexpr std::uint8_t kTlvPortId = 2;
+constexpr std::uint8_t kTlvEnd = 0;
+}  // namespace
+
+MacAddress LldpInfo::multicast_mac() {
+  return MacAddress::from_uint64(0x0180c200000eull);
+}
+
+pkt::Packet LldpInfo::to_packet() const {
+  pkt::BufferWriter w;
+  // Chassis ID TLV: type(7 bits)|len(9 bits), subtype 7 (locally assigned),
+  // value = 8-byte datapath id.
+  w.u16(static_cast<std::uint16_t>((kTlvChassisId << 9) | 9));
+  w.u8(7);
+  w.u64(chassis_id);
+  // Port ID TLV: subtype 7, value = 4-byte port number.
+  w.u16(static_cast<std::uint16_t>((kTlvPortId << 9) | 5));
+  w.u8(7);
+  w.u32(port_id);
+  // End TLV.
+  w.u16(static_cast<std::uint16_t>(kTlvEnd << 9));
+
+  pkt::Packet p;
+  // 0e:xx:... prefix: locally administered, disjoint from the 02:xx host
+  // range, so legacy MAC learning can never confuse a probe with a host.
+  p.eth.src = MacAddress::from_uint64(0x0E0000000000ull | (chassis_id & 0xFFFFFFFFFFull));
+  p.eth.dst = multicast_mac();
+  p.eth.ether_type = static_cast<std::uint16_t>(pkt::EtherType::kLldp);
+  p.payload = pkt::make_payload(w.take());
+  return p;
+}
+
+std::optional<LldpInfo> LldpInfo::from_packet(const pkt::Packet& packet) {
+  if (packet.eth.ether_type != static_cast<std::uint16_t>(pkt::EtherType::kLldp)) {
+    return std::nullopt;
+  }
+  pkt::BufferReader r(packet.payload_view());
+  LldpInfo info;
+  bool have_chassis = false;
+  bool have_port = false;
+  while (r.ok() && r.remaining() >= 2) {
+    const std::uint16_t header = r.u16();
+    const std::uint8_t type = static_cast<std::uint8_t>(header >> 9);
+    const std::uint16_t length = header & 0x1FF;
+    if (type == kTlvEnd) break;
+    if (type == kTlvChassisId && length == 9) {
+      r.u8();  // subtype
+      info.chassis_id = r.u64();
+      have_chassis = true;
+    } else if (type == kTlvPortId && length == 5) {
+      r.u8();  // subtype
+      info.port_id = r.u32();
+      have_port = true;
+    } else {
+      r.skip(length);
+    }
+  }
+  if (!r.ok() || !have_chassis || !have_port) return std::nullopt;
+  return info;
+}
+
+}  // namespace livesec::topo

@@ -1,0 +1,32 @@
+// LLDP frames for controller-driven link discovery (paper §III.C.1: "Based
+// on link layer discovery protocol (LLDP), LiveSec controller can
+// dynamically discover the logical link between all switches").
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "packet/packet.h"
+
+namespace livesec::topo {
+
+/// Payload of a LiveSec LLDP probe: identifies the emitting switch and port.
+/// The controller floods these via PacketOut on every AS switch port; when a
+/// probe arrives back via PacketIn on a different switch, the pair of
+/// (switch, port) endpoints is a discovered logical link.
+struct LldpInfo {
+  DatapathId chassis_id = 0;
+  PortId port_id = kInvalidPort;
+
+  /// Encodes as a genuine LLDP-style TLV payload inside an Ethernet frame
+  /// with EtherType 0x88CC and the LLDP multicast destination.
+  pkt::Packet to_packet() const;
+
+  /// Decodes; nullopt for anything that is not one of our probes.
+  static std::optional<LldpInfo> from_packet(const pkt::Packet& packet);
+
+  /// The LLDP nearest-bridge multicast address 01:80:c2:00:00:0e.
+  static MacAddress multicast_mac();
+};
+
+}  // namespace livesec::topo

@@ -1,0 +1,87 @@
+#include "topology/topology_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace livesec::topo {
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kAsSwitch: return "as_switch";
+    case NodeKind::kWifiAp: return "wifi_ap";
+    case NodeKind::kHost: return "host";
+    case NodeKind::kServiceElement: return "service_element";
+    case NodeKind::kGateway: return "gateway";
+  }
+  return "?";
+}
+
+void TopologyGraph::add_switch(SwitchInfo info) { switches_[info.dpid] = std::move(info); }
+
+void TopologyGraph::remove_switch(DatapathId dpid) {
+  switches_.erase(dpid);
+  links_.remove_switch(dpid);
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (it->second.dpid == dpid) {
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const TopologyGraph::SwitchInfo* TopologyGraph::switch_info(DatapathId dpid) const {
+  auto it = switches_.find(dpid);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+std::vector<DatapathId> TopologyGraph::switch_ids() const {
+  std::vector<DatapathId> out;
+  out.reserve(switches_.size());
+  for (const auto& [dpid, info] : switches_) out.push_back(dpid);
+  return out;
+}
+
+void TopologyGraph::upsert_node(const std::string& key, AttachedNode node) {
+  nodes_[key] = std::move(node);
+}
+
+void TopologyGraph::remove_node(const std::string& key) { nodes_.erase(key); }
+
+const TopologyGraph::AttachedNode* TopologyGraph::node(const std::string& key) const {
+  auto it = nodes_.find(key);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, TopologyGraph::AttachedNode>> TopologyGraph::nodes() const {
+  return {nodes_.begin(), nodes_.end()};
+}
+
+std::string TopologyGraph::to_dot() const {
+  std::ostringstream out;
+  out << "graph livesec {\n";
+  for (const auto& [dpid, info] : switches_) {
+    out << "  sw" << dpid << " [label=\"" << info.name << "\" shape=box kind="
+        << node_kind_name(info.kind) << "];\n";
+  }
+  for (const auto& [key, node] : nodes_) {
+    out << "  \"" << key << "\" [label=\"" << node.name << "\" kind=" << node_kind_name(node.kind)
+        << "];\n";
+    if (switches_.contains(node.dpid)) {
+      out << "  \"" << key << "\" -- sw" << node.dpid << " [port=" << node.port << "];\n";
+    }
+  }
+  std::set<std::pair<DatapathId, DatapathId>> drawn;
+  for (DatapathId a : switch_ids()) {
+    for (const AsLink& l : links_.links_from(a)) {
+      const auto key = std::minmax(l.src, l.dst);
+      if (drawn.insert({key.first, key.second}).second) {
+        out << "  sw" << l.src << " -- sw" << l.dst << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace livesec::topo

@@ -1,0 +1,73 @@
+// The controller's global view of the Access-Switching topology
+// (paper §III.C.1: "the global network topology of access switching network
+// can be mastered by the LiveSec controller in real time").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/link_table.h"
+
+namespace livesec::topo {
+
+/// Kind of node in the logical topology graph shown by the WebUI.
+enum class NodeKind { kAsSwitch, kWifiAp, kHost, kServiceElement, kGateway };
+
+const char* node_kind_name(NodeKind kind);
+
+/// Logical topology: AS switches/APs discovered through secure channels plus
+/// hosts/SEs learned from ARP packet-ins, with their attachment points.
+class TopologyGraph {
+ public:
+  struct SwitchInfo {
+    DatapathId dpid = 0;
+    std::string name;
+    NodeKind kind = NodeKind::kAsSwitch;
+    SimTime joined_at = 0;
+  };
+
+  struct AttachedNode {
+    std::string name;
+    NodeKind kind = NodeKind::kHost;
+    DatapathId dpid = 0;   // AS switch it hangs off
+    PortId port = kInvalidPort;
+    SimTime joined_at = 0;
+  };
+
+  // --- switches -------------------------------------------------------------
+  void add_switch(SwitchInfo info);
+  void remove_switch(DatapathId dpid);
+  bool has_switch(DatapathId dpid) const { return switches_.contains(dpid); }
+  const SwitchInfo* switch_info(DatapathId dpid) const;
+  std::vector<DatapathId> switch_ids() const;
+  std::size_t switch_count() const { return switches_.size(); }
+
+  // --- attached periphery nodes ---------------------------------------------
+  void upsert_node(const std::string& key, AttachedNode node);
+  void remove_node(const std::string& key);
+  const AttachedNode* node(const std::string& key) const;
+  std::vector<std::pair<std::string, AttachedNode>> nodes() const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // --- links ------------------------------------------------------------------
+  LinkTable& links() { return links_; }
+  const LinkTable& links() const { return links_; }
+
+  /// Full-mesh check over the current switch set (paper §III.C.1).
+  bool full_mesh() const { return links_.is_full_mesh(switch_ids()); }
+
+  /// Graphviz dot rendering of the logical topology (WebUI export).
+  std::string to_dot() const;
+
+ private:
+  std::map<DatapathId, SwitchInfo> switches_;
+  std::map<std::string, AttachedNode> nodes_;
+  LinkTable links_;
+};
+
+}  // namespace livesec::topo

@@ -1,0 +1,133 @@
+// Unit tests for src/common: addresses, hashing, RNG, formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace livesec {
+namespace {
+
+TEST(MacAddress, RoundTripsThroughString) {
+  const MacAddress mac = MacAddress::from_uint64(0x0123456789ABull);
+  EXPECT_EQ(mac.to_string(), "01:23:45:67:89:ab");
+  const auto parsed = MacAddress::parse(mac.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, mac);
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("01:23:45:67:89").has_value());
+  EXPECT_FALSE(MacAddress::parse("01:23:45:67:89:ab:cd").has_value());
+  EXPECT_FALSE(MacAddress::parse("01-23-45-67-89-ab").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:23:45:67:89:ab").has_value());
+  EXPECT_FALSE(MacAddress::parse("01:23:45:67:89:a").has_value());
+}
+
+TEST(MacAddress, ParseAcceptsUppercase) {
+  const auto parsed = MacAddress::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_uint64(), 0xAABBCCDDEEFFull);
+}
+
+TEST(MacAddress, ClassifiesSpecialAddresses) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  EXPECT_TRUE(MacAddress().is_zero());
+  EXPECT_TRUE(MacAddress::from_uint64(0x0180c200000eull).is_multicast());
+  EXPECT_FALSE(MacAddress::from_uint64(0x020000000001ull).is_multicast());
+}
+
+TEST(MacAddress, Uint64RoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 0xFFFFFFFFFFFFull, 0x020000000001ull}) {
+    EXPECT_EQ(MacAddress::from_uint64(v).to_uint64(), v);
+  }
+}
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  const Ipv4Address ip(10, 1, 2, 3);
+  EXPECT_EQ(ip.to_string(), "10.1.2.3");
+  const auto parsed = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ip);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Address, SubnetMatching) {
+  const Ipv4Address a(10, 0, 1, 5);
+  const Ipv4Address b(10, 0, 1, 200);
+  const Ipv4Address c(10, 0, 2, 5);
+  EXPECT_TRUE(a.same_subnet(b, 24));
+  EXPECT_FALSE(a.same_subnet(c, 24));
+  EXPECT_TRUE(a.same_subnet(c, 16));
+  EXPECT_TRUE(a.same_subnet(c, 0));
+  EXPECT_FALSE(a.same_subnet(b, 32));
+  EXPECT_TRUE(a.same_subnet(a, 32));
+}
+
+TEST(Hash, Fnv1aIsDeterministicAndSensitive) {
+  EXPECT_EQ(fnv1a("livesec"), fnv1a("livesec"));
+  EXPECT_NE(fnv1a("livesec"), fnv1a("livesed"));
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(Hash, SplitmixAvoidsTrivialCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1u << 30), b.uniform(0, 1u << 30));
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(1);
+  std::size_t low = 0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.zipf(100, 1.2) < 10) ++low;
+  }
+  // With s=1.2, the top-10 ranks should dominate well beyond the uniform 10%.
+  EXPECT_GT(low, kDraws / 3);
+}
+
+TEST(Types, TimeConversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_EQ(format_time(1'500'000), "0.001500s");
+}
+
+TEST(Types, RateFormatting) {
+  EXPECT_EQ(format_rate_bps(500), "500 bps");
+  EXPECT_EQ(format_rate_bps(43e6), "43.00 Mbps");
+  EXPECT_EQ(format_rate_bps(8.1e9), "8.10 Gbps");
+}
+
+}  // namespace
+}  // namespace livesec

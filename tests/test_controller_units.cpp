@@ -1,0 +1,408 @@
+// Unit tests for controller submodules: routing table, certification,
+// policy table, service registry, load balancer strategies.
+#include <gtest/gtest.h>
+
+#include "controller/certification.h"
+#include "controller/load_balancer.h"
+#include "controller/policy.h"
+#include "controller/routing_table.h"
+#include "controller/service_registry.h"
+
+namespace livesec::ctrl {
+namespace {
+
+// --- RoutingTable ----------------------------------------------------------------
+
+TEST(RoutingTable, LearnAndFind) {
+  RoutingTable table;
+  const MacAddress mac = MacAddress::from_uint64(0x1);
+  const Ipv4Address ip(10, 0, 0, 1);
+  EXPECT_TRUE(table.learn(mac, ip, 1, 2, 0));
+  const HostLocation* loc = table.find(mac);
+  ASSERT_NE(loc, nullptr);
+  EXPECT_EQ(loc->dpid, 1u);
+  EXPECT_EQ(loc->port, 2u);
+  EXPECT_EQ(table.find_by_ip(ip), loc);
+}
+
+TEST(RoutingTable, RelearnSameSpotIsNotAMove) {
+  RoutingTable table;
+  const MacAddress mac = MacAddress::from_uint64(0x1);
+  table.learn(mac, Ipv4Address(10, 0, 0, 1), 1, 2, 0);
+  EXPECT_FALSE(table.learn(mac, Ipv4Address(10, 0, 0, 1), 1, 2, 5));
+  EXPECT_TRUE(table.learn(mac, Ipv4Address(10, 0, 0, 1), 3, 4, 10));  // moved
+}
+
+TEST(RoutingTable, IpChangeUpdatesSecondaryIndex) {
+  RoutingTable table;
+  const MacAddress mac = MacAddress::from_uint64(0x1);
+  table.learn(mac, Ipv4Address(10, 0, 0, 1), 1, 2, 0);
+  table.learn(mac, Ipv4Address(10, 0, 0, 9), 1, 2, 1);
+  EXPECT_EQ(table.find_by_ip(Ipv4Address(10, 0, 0, 1)), nullptr);
+  ASSERT_NE(table.find_by_ip(Ipv4Address(10, 0, 0, 9)), nullptr);
+}
+
+TEST(RoutingTable, ExpireRemovesIdleHosts) {
+  RoutingTable table(100);
+  table.learn(MacAddress::from_uint64(1), Ipv4Address(10, 0, 0, 1), 1, 1, 0);
+  table.learn(MacAddress::from_uint64(2), Ipv4Address(10, 0, 0, 2), 1, 2, 50);
+  table.touch(MacAddress::from_uint64(1), 80);
+
+  const auto removed = table.expire(160);
+  ASSERT_EQ(removed.size(), 1u);  // host2 idle since 50
+  EXPECT_EQ(removed[0].mac, MacAddress::from_uint64(2));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, RemoveSwitchEvictsItsHosts) {
+  RoutingTable table;
+  table.learn(MacAddress::from_uint64(1), Ipv4Address(10, 0, 0, 1), 1, 1, 0);
+  table.learn(MacAddress::from_uint64(2), Ipv4Address(10, 0, 0, 2), 2, 1, 0);
+  const auto removed = table.remove_switch(1);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find_by_ip(Ipv4Address(10, 0, 0, 1)), nullptr);
+}
+
+// --- CertificationAuthority --------------------------------------------------------
+
+TEST(Certification, IssueValidateCycle) {
+  CertificationAuthority ca(12345);
+  const std::uint64_t token = ca.issue(7);
+  EXPECT_TRUE(ca.validate(7, token));
+  EXPECT_FALSE(ca.validate(8, token));       // wrong SE
+  EXPECT_FALSE(ca.validate(7, token ^ 1));   // tampered token
+  EXPECT_FALSE(ca.validate(7, 0));           // uncertified sentinel
+}
+
+TEST(Certification, DifferentSecretsDifferentTokens) {
+  CertificationAuthority a(1), b(2);
+  EXPECT_NE(a.issue(7), b.issue(7));
+  EXPECT_FALSE(b.validate(7, a.issue(7)));
+}
+
+TEST(Certification, RevocationSticks) {
+  CertificationAuthority ca(99);
+  const std::uint64_t token = ca.issue(7);
+  ca.revoke(7);
+  EXPECT_FALSE(ca.validate(7, token));
+  EXPECT_TRUE(ca.revoked(7));
+  EXPECT_TRUE(ca.validate(8, ca.issue(8)));  // others unaffected
+}
+
+// --- PolicyTable ---------------------------------------------------------------------
+
+pkt::FlowKey web_flow(std::uint64_t src_mac = 0xA, std::uint16_t dst_port = 80) {
+  pkt::FlowKey key;
+  key.dl_src = MacAddress::from_uint64(src_mac);
+  key.dl_dst = MacAddress::from_uint64(0xB);
+  key.dl_type = 0x0800;
+  key.nw_src = Ipv4Address(10, 0, 0, 1);
+  key.nw_dst = Ipv4Address(10, 0, 0, 2);
+  key.nw_proto = 6;
+  key.tp_src = 40000;
+  key.tp_dst = dst_port;
+  return key;
+}
+
+TEST(Policy, PredicatesAreConjunctive) {
+  Policy p;
+  p.nw_proto = 6;
+  p.tp_dst = 80;
+  EXPECT_TRUE(p.matches(web_flow()));
+  EXPECT_FALSE(p.matches(web_flow(0xA, 443)));
+  pkt::FlowKey udp = web_flow();
+  udp.nw_proto = 17;
+  EXPECT_FALSE(p.matches(udp));
+}
+
+TEST(Policy, SubnetPredicate) {
+  Policy p;
+  p.nw_dst = Ipv4Address(10, 0, 0, 0);
+  p.nw_dst_prefix = 24;
+  EXPECT_TRUE(p.matches(web_flow()));
+  pkt::FlowKey other = web_flow();
+  other.nw_dst = Ipv4Address(10, 0, 1, 2);
+  EXPECT_FALSE(p.matches(other));
+}
+
+TEST(PolicyTable, PriorityOrderWins) {
+  PolicyTable table;
+  Policy broad;
+  broad.name = "web-redirect";
+  broad.priority = 1;
+  broad.tp_dst = 80;
+  broad.action = PolicyAction::kRedirect;
+  table.add(broad);
+
+  Policy narrow;
+  narrow.name = "bad-user-deny";
+  narrow.priority = 10;
+  narrow.src_mac = MacAddress::from_uint64(0xA);
+  narrow.action = PolicyAction::kDeny;
+  table.add(narrow);
+
+  const Policy* hit = table.lookup(web_flow());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "bad-user-deny");
+  const Policy* other = table.lookup(web_flow(0xC));
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->name, "web-redirect");
+}
+
+TEST(PolicyTable, NoMatchUsesDefaultAction) {
+  PolicyTable table(PolicyAction::kDeny);
+  EXPECT_EQ(table.lookup(web_flow()), nullptr);
+  EXPECT_EQ(table.default_action(), PolicyAction::kDeny);
+}
+
+TEST(PolicyTable, AddAssignsIdsAndRemoveWorks) {
+  PolicyTable table;
+  Policy p;
+  p.name = "a";
+  const std::uint32_t id = table.add(p);
+  EXPECT_NE(table.find(id), nullptr);
+  EXPECT_TRUE(table.remove(id));
+  EXPECT_FALSE(table.remove(id));
+  EXPECT_EQ(table.find(id), nullptr);
+}
+
+TEST(PolicyTable, EqualPriorityKeepsInsertionOrder) {
+  PolicyTable table;
+  Policy first;
+  first.name = "first";
+  first.priority = 5;
+  first.tp_dst = 80;
+  table.add(first);
+  Policy second;
+  second.name = "second";
+  second.priority = 5;
+  second.tp_dst = 80;
+  table.add(second);
+  ASSERT_NE(table.lookup(web_flow()), nullptr);
+  EXPECT_EQ(table.lookup(web_flow())->name, "first");
+}
+
+// --- ServiceRegistry -------------------------------------------------------------------
+
+svc::OnlineMessage online(svc::ServiceType type, std::uint32_t pps = 0,
+                          std::uint32_t queued = 0) {
+  svc::OnlineMessage m;
+  m.service = type;
+  m.packets_per_second = pps;
+  m.queued_packets = queued;
+  return m;
+}
+
+TEST(ServiceRegistry, RegistersAndPools) {
+  ServiceRegistry registry;
+  EXPECT_TRUE(registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(10, 9, 0, 1), 1,
+                                     1, online(svc::ServiceType::kIntrusionDetection), 0));
+  EXPECT_FALSE(registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(10, 9, 0, 1), 1,
+                                      1, online(svc::ServiceType::kIntrusionDetection), 100));
+  registry.handle_online(2, MacAddress::from_uint64(2), Ipv4Address(10, 9, 0, 2), 1, 2,
+                         online(svc::ServiceType::kProtocolIdentification), 0);
+  EXPECT_EQ(registry.pool(svc::ServiceType::kIntrusionDetection).size(), 1u);
+  EXPECT_EQ(registry.pool(svc::ServiceType::kProtocolIdentification).size(), 1u);
+  EXPECT_EQ(registry.pool(svc::ServiceType::kVirusScan).size(), 0u);
+}
+
+TEST(ServiceRegistry, ExpiresSilentSes) {
+  ServiceRegistry registry(100);
+  registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(), 1, 1,
+                         online(svc::ServiceType::kIntrusionDetection), 0);
+  registry.handle_online(2, MacAddress::from_uint64(2), Ipv4Address(), 1, 2,
+                         online(svc::ServiceType::kIntrusionDetection), 80);
+  const auto removed = registry.expire(150);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].se_id, 1u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ServiceRegistry, HeartbeatResetsAssignmentEstimate) {
+  ServiceRegistry registry;
+  registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(), 1, 1,
+                         online(svc::ServiceType::kIntrusionDetection), 0);
+  registry.note_assignment(1);
+  registry.note_assignment(1);
+  EXPECT_EQ(registry.find(1)->assigned_since_report, 2u);
+  EXPECT_EQ(registry.find(1)->assigned_flows_total, 2u);
+  registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(), 1, 1,
+                         online(svc::ServiceType::kIntrusionDetection, 100), 10);
+  EXPECT_EQ(registry.find(1)->assigned_since_report, 0u);
+  EXPECT_EQ(registry.find(1)->assigned_flows_total, 2u);
+}
+
+// --- LoadBalancer -----------------------------------------------------------------------
+
+struct LbFixture {
+  ServiceRegistry registry;
+  LbFixture() {
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+      registry.handle_online(id, MacAddress::from_uint64(id), Ipv4Address(), 1,
+                             static_cast<PortId>(id),
+                             online(svc::ServiceType::kIntrusionDetection), 0);
+    }
+  }
+};
+
+pkt::FlowKey flow_n(std::uint32_t n, std::uint64_t user = 0xA) {
+  pkt::FlowKey key = web_flow(user);
+  key.tp_src = static_cast<std::uint16_t>(10000 + n);
+  return key;
+}
+
+TEST(LoadBalancer, PollingDistributesRoundRobin) {
+  LbFixture f;
+  LoadBalancer lb(LbStrategy::kPolling);
+  std::vector<std::uint64_t> picks;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    picks.push_back(*lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(i),
+                               LbGranularity::kPerFlow));
+  }
+  EXPECT_EQ(picks, (std::vector<std::uint64_t>{1, 2, 3, 4, 1, 2, 3, 4}));
+}
+
+TEST(LoadBalancer, AssignmentsAreStickyPerFlow) {
+  LbFixture f;
+  LoadBalancer lb(LbStrategy::kPolling);
+  const auto first = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(1),
+                               LbGranularity::kPerFlow);
+  const auto second = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(1),
+                                LbGranularity::kPerFlow);
+  EXPECT_EQ(first, second);  // same flow, same SE
+}
+
+TEST(LoadBalancer, UserGranularityPinsAllUserFlows) {
+  LbFixture f;
+  LoadBalancer lb(LbStrategy::kPolling);
+  const auto a = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection,
+                           flow_n(1, 0xAA), LbGranularity::kPerUser);
+  const auto b = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection,
+                           flow_n(2, 0xAA), LbGranularity::kPerUser);
+  const auto c = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection,
+                           flow_n(3, 0xBB), LbGranularity::kPerUser);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // round robin advanced for the next user
+}
+
+TEST(LoadBalancer, HashIsDeterministic) {
+  LbFixture f;
+  LoadBalancer lb(LbStrategy::kHash);
+  const auto a = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(7),
+                           LbGranularity::kPerFlow);
+  LoadBalancer lb2(LbStrategy::kHash);
+  const auto b = lb2.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(7),
+                            LbGranularity::kPerFlow);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LoadBalancer, MinLoadPrefersLeastLoaded) {
+  ServiceRegistry registry;
+  registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(), 1, 1,
+                         online(svc::ServiceType::kIntrusionDetection, 5000, 10), 0);
+  registry.handle_online(2, MacAddress::from_uint64(2), Ipv4Address(), 1, 2,
+                         online(svc::ServiceType::kIntrusionDetection, 100, 0), 0);
+  LoadBalancer lb(LbStrategy::kMinLoad);
+  EXPECT_EQ(*lb.assign(registry, svc::ServiceType::kIntrusionDetection, flow_n(1),
+                       LbGranularity::kPerFlow),
+            2u);
+}
+
+TEST(LoadBalancer, MinLoadAccountsLocalAssignments) {
+  LbFixture f;  // all SEs report zero load
+  LoadBalancer lb(LbStrategy::kMinLoad);
+  std::map<std::uint64_t, int> counts;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    counts[*lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(i),
+                      LbGranularity::kPerFlow)]++;
+  }
+  // Perfectly uniform flows => deviation across SEs must be tiny (<=5%,
+  // the paper's §V.B.2 bound).
+  int min = 1 << 30, max = 0;
+  for (const auto& [id, c] : counts) {
+    min = std::min(min, c);
+    max = std::max(max, c);
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  const double deviation = static_cast<double>(max - min) / (400.0 / 4.0);
+  EXPECT_LE(deviation, 0.05);
+}
+
+TEST(LoadBalancer, WeightedMinLoadHonorsCapacity) {
+  ServiceRegistry registry;
+  auto fast = online(svc::ServiceType::kIntrusionDetection);
+  fast.capacity_bps = 1000;
+  auto slow = online(svc::ServiceType::kIntrusionDetection);
+  slow.capacity_bps = 250;
+  registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(), 1, 1, fast, 0);
+  registry.handle_online(2, MacAddress::from_uint64(2), Ipv4Address(), 1, 2, slow, 0);
+
+  LoadBalancer lb(LbStrategy::kWeightedMinLoad);
+  std::map<std::uint64_t, int> counts;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    counts[*lb.assign(registry, svc::ServiceType::kIntrusionDetection, flow_n(i),
+                      LbGranularity::kPerFlow)]++;
+  }
+  // 4:1 capacity ratio => ~4:1 flow split (plain min-load would do 1:1).
+  const double ratio = static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(LoadBalancer, QueuingPrefersShortQueues) {
+  ServiceRegistry registry;
+  registry.handle_online(1, MacAddress::from_uint64(1), Ipv4Address(), 1, 1,
+                         online(svc::ServiceType::kIntrusionDetection, 0, 500), 0);
+  registry.handle_online(2, MacAddress::from_uint64(2), Ipv4Address(), 1, 2,
+                         online(svc::ServiceType::kIntrusionDetection, 0, 2), 0);
+  LoadBalancer lb(LbStrategy::kQueuing);
+  EXPECT_EQ(*lb.assign(registry, svc::ServiceType::kIntrusionDetection, flow_n(1),
+                       LbGranularity::kPerFlow),
+            2u);
+}
+
+TEST(LoadBalancer, EmptyPoolReturnsNullopt) {
+  ServiceRegistry registry;
+  LoadBalancer lb;
+  EXPECT_FALSE(lb.assign(registry, svc::ServiceType::kVirusScan, flow_n(1),
+                         LbGranularity::kPerFlow)
+                   .has_value());
+}
+
+TEST(LoadBalancer, DeadSePinIsReassigned) {
+  LbFixture f;
+  LoadBalancer lb(LbStrategy::kPolling);
+  const auto first = *lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(1),
+                                LbGranularity::kPerFlow);
+  f.registry.remove(first);
+  lb.purge_se(first);
+  const auto second = *lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(1),
+                                 LbGranularity::kPerFlow);
+  EXPECT_NE(first, second);
+}
+
+// Parameterized strategy sweep: every strategy must assign every flow when
+// the pool is non-empty, and honor stickiness.
+class LbStrategySweep : public ::testing::TestWithParam<LbStrategy> {};
+
+TEST_P(LbStrategySweep, AssignsEveryFlowAndSticks) {
+  LbFixture f;
+  LoadBalancer lb(GetParam());
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto pick = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(i),
+                                LbGranularity::kPerFlow);
+    ASSERT_TRUE(pick.has_value());
+    const auto again = lb.assign(f.registry, svc::ServiceType::kIntrusionDetection, flow_n(i),
+                                 LbGranularity::kPerFlow);
+    EXPECT_EQ(pick, again);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, LbStrategySweep,
+                         ::testing::Values(LbStrategy::kPolling, LbStrategy::kHash,
+                                           LbStrategy::kQueuing, LbStrategy::kMinLoad,
+                                           LbStrategy::kWeightedMinLoad));
+
+}  // namespace
+}  // namespace livesec::ctrl

@@ -1,0 +1,223 @@
+// Unit tests for the monitoring subsystem: event store queries and replay,
+// service-aware monitoring, aggregate flow control.
+#include <gtest/gtest.h>
+
+#include "monitor/event_store.h"
+#include "monitor/monitoring.h"
+
+namespace livesec::mon {
+namespace {
+
+NetworkEvent make_event(SimTime t, EventType type, std::string subject = "s") {
+  NetworkEvent e;
+  e.time = t;
+  e.type = type;
+  e.subject = std::move(subject);
+  return e;
+}
+
+TEST(EventStore, AppendAssignsMonotonicIds) {
+  EventStore store;
+  const auto a = store.append(make_event(1, EventType::kHostJoin));
+  const auto b = store.append(make_event(2, EventType::kFlowStart));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.by_id(a), nullptr);
+  EXPECT_EQ(store.by_id(a)->type, EventType::kHostJoin);
+  EXPECT_EQ(store.by_id(999), nullptr);
+}
+
+TEST(EventStore, RangeQueryIsHalfOpen) {
+  EventStore store;
+  for (SimTime t = 0; t < 100; t += 10) store.append(make_event(t, EventType::kFlowStart));
+  const auto events = store.query_range(20, 50);
+  ASSERT_EQ(events.size(), 3u);  // 20, 30, 40
+  EXPECT_EQ(events.front().time, 20);
+  EXPECT_EQ(events.back().time, 40);
+}
+
+TEST(EventStore, TypeQueryFilters) {
+  EventStore store;
+  store.append(make_event(1, EventType::kHostJoin));
+  store.append(make_event(2, EventType::kAttackDetected));
+  store.append(make_event(3, EventType::kHostJoin));
+  EXPECT_EQ(store.query_type(EventType::kHostJoin, 0, 100).size(), 2u);
+  EXPECT_EQ(store.query_type(EventType::kAttackDetected, 0, 100).size(), 1u);
+  EXPECT_EQ(store.query_type(EventType::kAttackDetected, 3, 100).size(), 0u);
+}
+
+TEST(EventStore, SubjectQueryReturnsMostRecentFirst) {
+  EventStore store;
+  store.append(make_event(1, EventType::kFlowStart, "alice"));
+  store.append(make_event(2, EventType::kFlowStart, "bob"));
+  store.append(make_event(3, EventType::kFlowEnd, "alice"));
+  const auto events = store.query_subject("alice", 10);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 3);
+  EXPECT_EQ(events[1].time, 1);
+  EXPECT_EQ(store.query_subject("alice", 1).size(), 1u);
+}
+
+TEST(EventStore, ReplayPreservesOrderAndBounds) {
+  EventStore store;
+  for (SimTime t = 0; t < 50; t += 5) store.append(make_event(t, EventType::kFlowStart));
+  std::vector<SimTime> seen;
+  const std::size_t count = store.replay(10, 30, [&](const NetworkEvent& e) {
+    seen.push_back(e.time);
+  });
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 15, 20, 25}));
+}
+
+// Property: replay over [0, inf) reproduces exactly the appended sequence.
+TEST(EventStore, FullReplayEqualsOriginalSequence) {
+  EventStore store;
+  std::vector<std::uint64_t> appended;
+  for (int i = 0; i < 200; ++i) {
+    appended.push_back(
+        store.append(make_event(i * 3, static_cast<EventType>(1 + (i % 10)))));
+  }
+  std::vector<std::uint64_t> replayed;
+  store.replay(0, 1'000'000, [&](const NetworkEvent& e) { replayed.push_back(e.id); });
+  EXPECT_EQ(replayed, appended);
+}
+
+TEST(EventStore, CapacityEvictsOldest) {
+  EventStore store(5);
+  for (SimTime t = 0; t < 10; ++t) store.append(make_event(t, EventType::kFlowStart));
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.at(0).time, 5);
+  EXPECT_EQ(store.by_id(1), nullptr);   // evicted
+  EXPECT_NE(store.by_id(10), nullptr);  // newest survives
+}
+
+TEST(EventStore, HistogramCountsTypes) {
+  EventStore store;
+  store.append(make_event(1, EventType::kHostJoin));
+  store.append(make_event(2, EventType::kHostJoin));
+  store.append(make_event(3, EventType::kAttackDetected));
+  const auto histogram = store.histogram();
+  ASSERT_EQ(histogram.size(), 2u);
+}
+
+TEST(EventStore, JsonIsWellFormedArray) {
+  EventStore store;
+  store.append(make_event(1, EventType::kAttackDetected, "he said \"hi\""));
+  const std::string json = store.to_json(0, 10);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);  // quotes escaped
+  EXPECT_NE(json.find("attack_detected"), std::string::npos);
+}
+
+TEST(NetworkEvent, ToStringIncludesSeverityAndDetail) {
+  NetworkEvent e = make_event(kSecond, EventType::kAttackDetected, "host1");
+  e.detail = "sql-injection";
+  e.severity = 8;
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("attack_detected"), std::string::npos);
+  EXPECT_NE(s.find("sql-injection"), std::string::npos);
+  EXPECT_NE(s.find("sev=8"), std::string::npos);
+}
+
+// --- ServiceAwareMonitor -----------------------------------------------------------
+
+TEST(ServiceAwareMonitor, TracksDominantApp) {
+  ServiceAwareMonitor monitor;
+  const MacAddress user = MacAddress::from_uint64(0xA);
+  EXPECT_FALSE(monitor.dominant_app(user).has_value());
+
+  monitor.record_flow_identified(user, svc::l7::AppProtocol::kHttp);
+  monitor.record_flow_identified(user, svc::l7::AppProtocol::kHttp);
+  monitor.record_flow_identified(user, svc::l7::AppProtocol::kSsh);
+  EXPECT_EQ(monitor.dominant_app(user), svc::l7::AppProtocol::kHttp);
+
+  // Both HTTP flows end; SSH becomes dominant (the Figure 7 -> 8 shift).
+  monitor.record_flow_ended(user, svc::l7::AppProtocol::kHttp);
+  monitor.record_flow_ended(user, svc::l7::AppProtocol::kHttp);
+  EXPECT_EQ(monitor.dominant_app(user), svc::l7::AppProtocol::kSsh);
+}
+
+TEST(ServiceAwareMonitor, NetworkDistributionAggregates) {
+  ServiceAwareMonitor monitor;
+  monitor.record_flow_identified(MacAddress::from_uint64(1), svc::l7::AppProtocol::kHttp);
+  monitor.record_flow_identified(MacAddress::from_uint64(2), svc::l7::AppProtocol::kHttp);
+  monitor.record_flow_identified(MacAddress::from_uint64(2), svc::l7::AppProtocol::kBitTorrent);
+  const auto dist = monitor.network_distribution();
+  EXPECT_EQ(dist.at(svc::l7::AppProtocol::kHttp), 2u);
+  EXPECT_EQ(dist.at(svc::l7::AppProtocol::kBitTorrent), 1u);
+  EXPECT_EQ(monitor.users().size(), 2u);
+}
+
+TEST(ServiceAwareMonitor, TrafficTotalsAccumulateAndRank) {
+  ServiceAwareMonitor monitor;
+  const MacAddress light = MacAddress::from_uint64(1);
+  const MacAddress heavy = MacAddress::from_uint64(2);
+  monitor.record_flow_traffic(light, 10, 1000);
+  monitor.record_flow_traffic(heavy, 100, 50000);
+  monitor.record_flow_traffic(heavy, 200, 70000);
+
+  const auto* totals = monitor.traffic(heavy);
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->flows, 2u);
+  EXPECT_EQ(totals->packets, 300u);
+  EXPECT_EQ(totals->bytes, 120000u);
+  EXPECT_EQ(monitor.traffic(MacAddress::from_uint64(9)), nullptr);
+
+  const auto ranked = monitor.top_talkers(10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, heavy);
+  EXPECT_EQ(ranked[1].first, light);
+  EXPECT_EQ(monitor.top_talkers(1).size(), 1u);
+}
+
+TEST(ServiceAwareMonitor, EndWithoutStartIsSafe) {
+  ServiceAwareMonitor monitor;
+  monitor.record_flow_ended(MacAddress::from_uint64(9), svc::l7::AppProtocol::kHttp);
+  EXPECT_TRUE(monitor.users().empty());
+}
+
+// --- AggregateFlowControl -----------------------------------------------------------
+
+TEST(AggregateFlowControl, EnforcesPerUserPerAppCap) {
+  ServiceAwareMonitor monitor;
+  AggregateFlowControl control;
+  control.set_limit(svc::l7::AppProtocol::kBitTorrent, 2);
+  const MacAddress user = MacAddress::from_uint64(0xA);
+
+  EXPECT_TRUE(control.admits(monitor, user, svc::l7::AppProtocol::kBitTorrent));
+  monitor.record_flow_identified(user, svc::l7::AppProtocol::kBitTorrent);
+  EXPECT_TRUE(control.admits(monitor, user, svc::l7::AppProtocol::kBitTorrent));
+  monitor.record_flow_identified(user, svc::l7::AppProtocol::kBitTorrent);
+  EXPECT_FALSE(control.admits(monitor, user, svc::l7::AppProtocol::kBitTorrent));
+
+  // A flow ending frees a slot.
+  monitor.record_flow_ended(user, svc::l7::AppProtocol::kBitTorrent);
+  EXPECT_TRUE(control.admits(monitor, user, svc::l7::AppProtocol::kBitTorrent));
+}
+
+TEST(AggregateFlowControl, UnlimitedAppsAlwaysAdmit) {
+  ServiceAwareMonitor monitor;
+  AggregateFlowControl control;
+  control.set_limit(svc::l7::AppProtocol::kBitTorrent, 1);
+  const MacAddress user = MacAddress::from_uint64(0xA);
+  for (int i = 0; i < 10; ++i) {
+    monitor.record_flow_identified(user, svc::l7::AppProtocol::kHttp);
+  }
+  EXPECT_TRUE(control.admits(monitor, user, svc::l7::AppProtocol::kHttp));
+  EXPECT_FALSE(control.limit(svc::l7::AppProtocol::kHttp).has_value());
+}
+
+TEST(AggregateFlowControl, LimitsArePerUser) {
+  ServiceAwareMonitor monitor;
+  AggregateFlowControl control;
+  control.set_limit(svc::l7::AppProtocol::kBitTorrent, 1);
+  monitor.record_flow_identified(MacAddress::from_uint64(1), svc::l7::AppProtocol::kBitTorrent);
+  EXPECT_FALSE(
+      control.admits(monitor, MacAddress::from_uint64(1), svc::l7::AppProtocol::kBitTorrent));
+  EXPECT_TRUE(
+      control.admits(monitor, MacAddress::from_uint64(2), svc::l7::AppProtocol::kBitTorrent));
+}
+
+}  // namespace
+}  // namespace livesec::mon

@@ -1,0 +1,238 @@
+// Unit tests for the net module: Host behaviour (ARP, ping, dispatch),
+// traffic applications, and the Network deployment builder.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/traffic.h"
+
+namespace livesec::net {
+namespace {
+
+/// Two hosts wired back-to-back (no switches): exercises pure host logic.
+struct HostPair {
+  sim::Simulator sim;
+  Host a{sim, "a", MacAddress::from_uint64(0xA), Ipv4Address(10, 0, 0, 1)};
+  Host b{sim, "b", MacAddress::from_uint64(0xB), Ipv4Address(10, 0, 0, 2)};
+  std::unique_ptr<sim::Link> link = sim::connect(sim, a.port(0), b.port(0));
+};
+
+TEST(Host, ArpResolvesThenSends) {
+  HostPair pair;
+  pkt::Packet p = pkt::PacketBuilder()
+                      .ipv4(pair.a.ip(), pair.b.ip(), pkt::IpProto::kUdp)
+                      .udp(1000, 2000)
+                      .payload("queued until ARP resolves")
+                      .build();
+  pair.a.send_ip(std::move(p));
+  EXPECT_FALSE(pair.a.arp_cached(pair.b.ip()));
+  pair.sim.run();
+  EXPECT_TRUE(pair.a.arp_cached(pair.b.ip()));
+  EXPECT_EQ(pair.b.rx_ip_packets(), 1u);
+}
+
+TEST(Host, ArpRequestsAreCoalescedWhileResolving) {
+  HostPair pair;
+  for (int i = 0; i < 5; ++i) {
+    pkt::Packet p = pkt::PacketBuilder()
+                        .ipv4(pair.a.ip(), pair.b.ip(), pkt::IpProto::kUdp)
+                        .udp(static_cast<std::uint16_t>(1000 + i), 2000)
+                        .payload("x")
+                        .build();
+    pair.a.send_ip(std::move(p));
+  }
+  pair.sim.run();
+  EXPECT_EQ(pair.b.rx_ip_packets(), 5u);  // all five flushed after one ARP
+}
+
+TEST(Host, RepliesToEchoAndRecordsRtt) {
+  HostPair pair;
+  bool done = false;
+  pair.a.ping(pair.b.ip(), 3, 1 * kMillisecond, [&](const Host::PingStats& stats) {
+    done = true;
+    EXPECT_EQ(stats.received, 3u);
+    EXPECT_GT(stats.min_rtt, 0);
+    EXPECT_GE(stats.max_rtt, stats.min_rtt);
+  });
+  pair.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Host, PingCompletionFiresOnTimeoutWithLosses) {
+  sim::Simulator sim;
+  Host lonely(sim, "lonely", MacAddress::from_uint64(0xC), Ipv4Address(10, 0, 0, 3));
+  // No link at all: every ping is lost.
+  bool done = false;
+  lonely.ping(Ipv4Address(10, 0, 0, 9), 2, 1 * kMillisecond,
+              [&](const Host::PingStats& stats) {
+                done = true;
+                EXPECT_EQ(stats.received, 0u);
+              },
+              50 * kMillisecond);
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Host, PortHandlersDispatchByDestination) {
+  HostPair pair;
+  int udp_hits = 0;
+  int fallback_hits = 0;
+  pair.b.on_udp(5000, [&](const pkt::Packet&) { ++udp_hits; });
+  pair.b.on_ip_default([&](const pkt::Packet&) { ++fallback_hits; });
+
+  pkt::Packet hit = pkt::PacketBuilder()
+                        .ipv4(pair.a.ip(), pair.b.ip(), pkt::IpProto::kUdp)
+                        .udp(1, 5000)
+                        .payload("to handler")
+                        .build();
+  pkt::Packet miss = pkt::PacketBuilder()
+                         .ipv4(pair.a.ip(), pair.b.ip(), pkt::IpProto::kUdp)
+                         .udp(1, 9999)
+                         .payload("to fallback")
+                         .build();
+  pair.a.send_ip(std::move(hit));
+  pair.a.send_ip(std::move(miss));
+  pair.sim.run();
+  EXPECT_EQ(udp_hits, 1);
+  EXPECT_EQ(fallback_hits, 1);
+}
+
+TEST(Host, IgnoresFramesForOtherMacs) {
+  HostPair pair;
+  pkt::Packet p = pkt::PacketBuilder()
+                      .eth(pair.a.mac(), MacAddress::from_uint64(0xDEAD))
+                      .ipv4(pair.a.ip(), pair.b.ip(), pkt::IpProto::kUdp)
+                      .udp(1, 2)
+                      .payload("wrong dst mac")
+                      .build();
+  pair.a.port(0).transmit(pkt::finalize(std::move(p)));
+  pair.sim.run();
+  EXPECT_EQ(pair.b.rx_ip_packets(), 0u);
+}
+
+TEST(UdpCbrApp, HitsConfiguredRate) {
+  HostPair pair;
+  UdpCbrApp app(pair.a, {.dst = pair.b.ip(),
+                         .rate_bps = 10e6,
+                         .packet_payload = 1000,
+                         .duration = 1 * kSecond});
+  app.start();
+  pair.sim.run();
+  const double sent_bps = static_cast<double>(app.bytes_sent()) * 8.0;
+  EXPECT_NEAR(sent_bps, 10e6, 0.5e6);  // over ~1 second
+  EXPECT_EQ(pair.b.rx_ip_packets(), app.packets_sent());
+}
+
+TEST(HttpApps, RequestResponseCycleCompletes) {
+  HostPair pair;
+  HttpServerApp server(pair.b, {.port = 80, .response_size = 10000, .mtu_payload = 1400});
+  HttpClientApp client(pair.a, {.server = pair.b.ip(), .sessions = 3, .concurrency = 1,
+                                .expected_response = 10000});
+  client.start();
+  pair.sim.run();
+  EXPECT_EQ(client.responses_completed(), 3u);
+  EXPECT_EQ(server.requests_served(), 3u);
+  EXPECT_GE(client.response_bytes(), 3u * 10000u);
+  EXPECT_TRUE(client.done());
+}
+
+TEST(HttpApps, ResponseStartsWithRealHttpBytes) {
+  HostPair pair;
+  HttpServerApp server(pair.b, {.port = 80, .response_size = 2000});
+  std::string first_payload;
+  pair.a.on_ip_default([&](const pkt::Packet& p) {
+    if (first_payload.empty() && p.payload_size() > 0) {
+      first_payload.assign(p.payload->begin(), p.payload->end());
+    }
+  });
+  pkt::Packet request = pkt::PacketBuilder()
+                            .ipv4(pair.a.ip(), pair.b.ip(), pkt::IpProto::kTcp)
+                            .tcp(12345, 80, pkt::TcpFlags::kPsh)
+                            .payload("GET / HTTP/1.1\r\n\r\n")
+                            .build();
+  pair.a.send_ip(std::move(request));
+  pair.sim.run();
+  ASSERT_FALSE(first_payload.empty());
+  EXPECT_EQ(first_payload.rfind("HTTP/1.1 200 OK", 0), 0u);
+}
+
+TEST(BitTorrentApp, SendsRealHandshake) {
+  HostPair pair;
+  std::string first_payload;
+  pair.b.on_tcp(6881, [&](const pkt::Packet& p) {
+    if (first_payload.empty() && p.payload_size() > 0) {
+      first_payload.assign(p.payload->begin(), p.payload->end());
+    }
+  });
+  BitTorrentApp app(pair.a, {.peers = {pair.b.ip()}, .rate_bps = 1e6,
+                             .duration = 100 * kMillisecond});
+  app.start();
+  pair.sim.run();
+  ASSERT_GE(first_payload.size(), 20u);
+  EXPECT_EQ(first_payload[0], '\x13');
+  EXPECT_EQ(first_payload.substr(1, 19), "BitTorrent protocol");
+}
+
+// --- Network builder ---------------------------------------------------------
+
+TEST(Network, AllocatesUniqueAddresses) {
+  Network network;
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& ovs = network.add_as_switch("ovs", backbone);
+  auto& h1 = network.add_host("h1", ovs);
+  auto& h2 = network.add_host("h2", ovs);
+  EXPECT_NE(h1.mac(), h2.mac());
+  EXPECT_NE(h1.ip(), h2.ip());
+}
+
+TEST(Network, StartRegistersEverything) {
+  Network network;
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& ovs1 = network.add_as_switch("ovs1", backbone);
+  auto& ovs2 = network.add_as_switch("ovs2", backbone);
+  network.add_host("h1", ovs1);
+  network.add_service_element(svc::ServiceType::kVirusScan, ovs2);
+  network.start();
+
+  EXPECT_EQ(network.controller().topology().switch_count(), 2u);
+  EXPECT_EQ(network.controller().services().size(), 1u);
+  EXPECT_GE(network.controller().routing().size(), 2u);  // host + SE
+}
+
+TEST(Network, RedundantLegacyLinksAreLoopFreeAfterFinalize) {
+  Network network;
+  auto& l1 = network.add_legacy_switch("l1");
+  auto& l2 = network.add_legacy_switch("l2");
+  auto& l3 = network.add_legacy_switch("l3");
+  network.connect_legacy(l1, l2);
+  network.connect_legacy(l2, l3);
+  network.connect_legacy(l3, l1);  // loop!
+  network.finalize_legacy();
+
+  auto& ovs1 = network.add_as_switch("ovs1", l1);
+  auto& ovs2 = network.add_as_switch("ovs2", l3);
+  auto& a = network.add_host("a", ovs1);
+  auto& b = network.add_host("b", ovs2);
+  network.start();
+
+  // A broadcast-triggering exchange must terminate (no storm) and deliver.
+  pkt::Packet p = pkt::PacketBuilder()
+                      .ipv4(a.ip(), b.ip(), pkt::IpProto::kUdp)
+                      .udp(1, 2)
+                      .payload("through the ex-loop")
+                      .build();
+  a.send_ip(std::move(p));
+  network.run_for(1 * kSecond);
+  EXPECT_EQ(b.rx_ip_packets(), 1u);
+}
+
+TEST(Network, SeCertTokensAreValid) {
+  Network network;
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& ovs = network.add_as_switch("ovs", backbone);
+  auto& se = network.add_service_element(svc::ServiceType::kIntrusionDetection, ovs);
+  EXPECT_TRUE(network.controller().certification().validate(se.se_id(),
+                                                            se.config().cert_token));
+}
+
+}  // namespace
+}  // namespace livesec::net

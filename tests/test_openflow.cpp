@@ -1,0 +1,297 @@
+// Unit tests for the OpenFlow layer: match semantics, flow table, channel.
+#include <gtest/gtest.h>
+
+#include "openflow/channel.h"
+#include "openflow/flow_table.h"
+#include "openflow/match.h"
+#include "sim/simulator.h"
+
+namespace livesec::of {
+namespace {
+
+pkt::FlowKey sample_key(std::uint16_t tp_src = 1000) {
+  pkt::FlowKey key;
+  key.dl_src = MacAddress::from_uint64(0xA);
+  key.dl_dst = MacAddress::from_uint64(0xB);
+  key.dl_type = static_cast<std::uint16_t>(pkt::EtherType::kIpv4);
+  key.nw_src = Ipv4Address(10, 0, 0, 1);
+  key.nw_dst = Ipv4Address(10, 0, 0, 2);
+  key.nw_proto = 6;
+  key.tp_src = tp_src;
+  key.tp_dst = 80;
+  return key;
+}
+
+TEST(Match, WildcardAllMatchesEverything) {
+  const Match m;
+  EXPECT_TRUE(m.is_wildcard_all());
+  EXPECT_TRUE(m.matches(0, sample_key()));
+  EXPECT_TRUE(m.matches(99, sample_key(2222)));
+}
+
+TEST(Match, ExactMatchesOnlyIdenticalKey) {
+  const pkt::FlowKey key = sample_key();
+  const Match m = Match::exact(3, key);
+  EXPECT_TRUE(m.matches(3, key));
+  EXPECT_FALSE(m.matches(4, key));  // different in_port
+  pkt::FlowKey other = key;
+  other.tp_dst = 443;
+  EXPECT_FALSE(m.matches(3, other));
+}
+
+TEST(Match, SingleFieldConstraints) {
+  const pkt::FlowKey key = sample_key();
+  EXPECT_TRUE(Match().nw_proto(6).matches(0, key));
+  EXPECT_FALSE(Match().nw_proto(17).matches(0, key));
+  EXPECT_TRUE(Match().tp_dst(80).matches(0, key));
+  EXPECT_FALSE(Match().tp_dst(81).matches(0, key));
+  EXPECT_TRUE(Match().dl_src(key.dl_src).matches(0, key));
+  EXPECT_FALSE(Match().dl_src(key.dl_dst).matches(0, key));
+}
+
+TEST(Match, SpecificityCountsExactFields) {
+  EXPECT_EQ(Match().specificity(), 0);
+  EXPECT_EQ(Match().nw_proto(6).specificity(), 1);
+  EXPECT_EQ(Match::exact(0, sample_key()).specificity(), 10);
+  EXPECT_EQ(Match::exact_flow(sample_key()).specificity(), 9);
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable table;
+  FlowEntry broad;
+  broad.match = Match().tp_dst(80);
+  broad.priority = 10;
+  broad.actions = output_to(1);
+  table.add(broad, 0);
+
+  FlowEntry specific;
+  specific.match = Match::exact(0, sample_key());
+  specific.priority = 200;
+  specific.actions = drop();
+  table.add(specific, 0);
+
+  const FlowEntry* hit = table.lookup(0, sample_key(), 100, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 200);
+}
+
+TEST(FlowTable, EqualPriorityPrefersMoreSpecific) {
+  FlowTable table;
+  FlowEntry broad;
+  broad.match = Match().tp_dst(80);
+  broad.priority = 100;
+  broad.actions = output_to(1);
+  table.add(broad, 0);
+
+  FlowEntry narrow;
+  narrow.match = Match().tp_dst(80).nw_proto(6);
+  narrow.priority = 100;
+  narrow.actions = output_to(2);
+  table.add(narrow, 0);
+
+  const FlowEntry* hit = table.lookup(0, sample_key(), 100, 1);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->actions.size(), 1u);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 2u);
+}
+
+TEST(FlowTable, AddReplacesIdenticalMatchAndPriority) {
+  FlowTable table;
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.priority = 100;
+  e.actions = output_to(1);
+  table.add(e, 0);
+  e.actions = output_to(9);
+  table.add(e, 5);
+  EXPECT_EQ(table.size(), 1u);
+  const FlowEntry* hit = table.lookup(0, sample_key(), 10, 6);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 9u);
+}
+
+TEST(FlowTable, CountersAccumulateOnHits) {
+  FlowTable table;
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.actions = output_to(1);
+  table.add(e, 0);
+  table.lookup(0, sample_key(), 100, 1);
+  table.lookup(0, sample_key(), 150, 2);
+  const FlowEntry* hit = table.lookup(0, sample_key(), 50, 3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->packet_count, 3u);
+  EXPECT_EQ(hit->byte_count, 300u);
+  EXPECT_EQ(table.hits(), 3u);
+  EXPECT_EQ(table.misses(), 0u);
+}
+
+TEST(FlowTable, MissReturnsNullAndCounts) {
+  FlowTable table;
+  EXPECT_EQ(table.lookup(0, sample_key(), 10, 0), nullptr);
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+TEST(FlowTable, IdleTimeoutEvicts) {
+  FlowTable table;
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.actions = output_to(1);
+  e.idle_timeout = 100;
+  table.add(e, 0);
+  EXPECT_NE(table.lookup(0, sample_key(), 10, 50), nullptr);   // refreshes idle clock
+  EXPECT_NE(table.lookup(0, sample_key(), 10, 149), nullptr);  // still fresh
+  EXPECT_EQ(table.lookup(0, sample_key(), 10, 249), nullptr);  // idle > 100
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, HardTimeoutEvictsRegardlessOfUse) {
+  FlowTable table;
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.actions = output_to(1);
+  e.hard_timeout = 100;
+  table.add(e, 0);
+  for (SimTime t = 10; t < 100; t += 10) {
+    EXPECT_NE(table.lookup(0, sample_key(), 10, t), nullptr);
+  }
+  EXPECT_EQ(table.lookup(0, sample_key(), 10, 100), nullptr);
+}
+
+TEST(FlowTable, RemovalCallbackFiresWithReason) {
+  FlowTable table;
+  std::vector<RemovalReason> reasons;
+  table.set_removal_callback(
+      [&](const FlowEntry&, RemovalReason reason) { reasons.push_back(reason); });
+
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.actions = output_to(1);
+  e.idle_timeout = 100;
+  table.add(e, 0);
+  table.expire(500);
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], RemovalReason::kIdleTimeout);
+
+  e.idle_timeout = 0;
+  table.add(e, 500);
+  table.remove_strict(e.match, e.priority, 501);
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[1], RemovalReason::kDelete);
+}
+
+TEST(FlowTable, ModifyStrictUpdatesActionsOnly) {
+  FlowTable table;
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.priority = 100;
+  e.actions = output_to(1);
+  table.add(e, 0);
+  table.lookup(0, sample_key(), 42, 1);
+
+  EXPECT_EQ(table.modify_strict(e.match, 100, drop()), 1u);
+  const FlowEntry* hit = table.lookup(0, sample_key(), 10, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(std::holds_alternative<ActionDrop>(hit->actions[0]));
+  EXPECT_EQ(hit->packet_count, 2u);  // counters survived the modify
+}
+
+TEST(FlowTable, NonStrictDeleteRemovesCoveredEntries) {
+  FlowTable table;
+  FlowEntry a;
+  a.match = Match::exact(0, sample_key(1000));
+  a.actions = output_to(1);
+  table.add(a, 0);
+  FlowEntry b;
+  b.match = Match::exact(0, sample_key(2000));
+  b.actions = output_to(1);
+  table.add(b, 0);
+  FlowEntry c;
+  c.match = Match().nw_proto(17);  // different proto: not covered below
+  c.actions = output_to(2);
+  table.add(c, 0);
+
+  // Delete everything with nw_proto=6 (covers both exact TCP entries).
+  EXPECT_EQ(table.remove_matching(Match().nw_proto(6), 1), 2u);
+  EXPECT_EQ(table.size(), 1u);
+
+  // Wildcard-all covers the rest.
+  EXPECT_EQ(table.remove_matching(Match(), 1), 1u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, StrictDeleteRequiresExactMatchAndPriority) {
+  FlowTable table;
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.priority = 100;
+  e.actions = output_to(1);
+  table.add(e, 0);
+  EXPECT_EQ(table.remove_strict(e.match, 99, 1), 0u);
+  EXPECT_EQ(table.remove_strict(Match::exact(1, sample_key()), 100, 1), 0u);
+  EXPECT_EQ(table.remove_strict(e.match, 100, 1), 1u);
+}
+
+// --- SecureChannel ------------------------------------------------------------
+
+class FakeSwitch : public SwitchEndpoint {
+ public:
+  DatapathId datapath_id() const override { return 7; }
+  void handle_controller_message(const Message& m) override { received.push_back(m); }
+  std::vector<Message> received;
+};
+
+class FakeController : public ControllerEndpoint {
+ public:
+  void handle_switch_message(DatapathId dpid, const Message& m) override {
+    messages.emplace_back(dpid, m);
+  }
+  void handle_switch_connected(DatapathId dpid, const FeaturesReply&) override {
+    connected.push_back(dpid);
+  }
+  void handle_switch_disconnected(DatapathId dpid) override { disconnected.push_back(dpid); }
+  std::vector<std::pair<DatapathId, Message>> messages;
+  std::vector<DatapathId> connected;
+  std::vector<DatapathId> disconnected;
+};
+
+TEST(SecureChannel, DeliversWithLatencyBothWays) {
+  sim::Simulator sim;
+  FakeSwitch sw;
+  FakeController controller;
+  SecureChannel channel(sim, sw, controller, 100 * kMicrosecond);
+  channel.connect(FeaturesReply{7, 4, "sw7"});
+  sim.run();
+  ASSERT_EQ(controller.connected.size(), 1u);
+  EXPECT_EQ(sim.now(), 100 * kMicrosecond);
+
+  channel.send_to_controller(EchoRequest{99});
+  sim.run();
+  ASSERT_EQ(controller.messages.size(), 1u);
+  EXPECT_EQ(controller.messages[0].first, 7u);
+
+  channel.send_to_switch(EchoRequest{11});
+  sim.run();
+  ASSERT_EQ(sw.received.size(), 1u);
+}
+
+TEST(SecureChannel, DropsMessagesWhenDisconnected) {
+  sim::Simulator sim;
+  FakeSwitch sw;
+  FakeController controller;
+  SecureChannel channel(sim, sw, controller);
+  channel.send_to_controller(EchoRequest{1});  // never connected
+  sim.run();
+  EXPECT_TRUE(controller.messages.empty());
+
+  channel.connect(FeaturesReply{7, 0, "sw"});
+  sim.run();
+  channel.disconnect();
+  channel.send_to_controller(EchoRequest{2});
+  sim.run();
+  EXPECT_TRUE(controller.messages.empty());
+  ASSERT_EQ(controller.disconnected.size(), 1u);
+}
+
+}  // namespace
+}  // namespace livesec::of

@@ -1,0 +1,214 @@
+// Unit tests for the packet module: buffer, header codecs, packet
+// serialize/parse round-trips, flow keys.
+#include <gtest/gtest.h>
+
+#include "packet/buffer.h"
+#include "packet/flow_key.h"
+#include "packet/packet.h"
+
+namespace livesec::pkt {
+namespace {
+
+TEST(Buffer, ScalarsRoundTripBigEndian) {
+  BufferWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  const auto bytes = w.data();
+  EXPECT_EQ(bytes[1], 0x12);  // big-endian check
+  EXPECT_EQ(bytes[2], 0x34);
+
+  BufferReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Buffer, ReaderUnderflowSetsStickyError) {
+  BufferWriter w;
+  w.u16(7);
+  BufferReader r(w.data());
+  r.u32();  // underflow: only 2 bytes available
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // still failing
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Buffer, LengthPrefixedStringRoundTrip) {
+  BufferWriter w;
+  w.length_prefixed_string("hello livesec");
+  BufferReader r(w.data());
+  EXPECT_EQ(r.length_prefixed_string(), "hello livesec");
+  EXPECT_TRUE(r.ok());
+}
+
+Packet udp_packet() {
+  return PacketBuilder()
+      .eth(MacAddress::from_uint64(0x111111111111), MacAddress::from_uint64(0x222222222222))
+      .ipv4(Ipv4Address(192, 168, 1, 10), Ipv4Address(192, 168, 1, 20), IpProto::kUdp)
+      .udp(5353, 53)
+      .payload("dns-query-bytes")
+      .build();
+}
+
+TEST(Packet, UdpSerializeParseRoundTrip) {
+  const Packet original = udp_packet();
+  const auto bytes = original.serialize();
+  const auto parsed = Packet::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->eth.src, original.eth.src);
+  EXPECT_EQ(parsed->eth.dst, original.eth.dst);
+  ASSERT_TRUE(parsed->ipv4.has_value());
+  EXPECT_EQ(parsed->ipv4->src, original.ipv4->src);
+  EXPECT_EQ(parsed->ipv4->dst, original.ipv4->dst);
+  ASSERT_TRUE(parsed->udp.has_value());
+  EXPECT_EQ(parsed->udp->src_port, 5353);
+  EXPECT_EQ(parsed->udp->dst_port, 53);
+  ASSERT_TRUE(parsed->payload != nullptr);
+  EXPECT_EQ(std::string(parsed->payload->begin(), parsed->payload->end()), "dns-query-bytes");
+}
+
+TEST(Packet, TcpSerializeParseRoundTrip) {
+  const Packet original = PacketBuilder()
+                              .eth(MacAddress::from_uint64(1), MacAddress::from_uint64(2))
+                              .ipv4(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                                    IpProto::kTcp)
+                              .tcp(40000, 80, TcpFlags::kSyn)
+                              .payload("GET / HTTP/1.1\r\n\r\n")
+                              .build();
+  const auto parsed = Packet::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->tcp.has_value());
+  EXPECT_EQ(parsed->tcp->src_port, 40000);
+  EXPECT_EQ(parsed->tcp->dst_port, 80);
+  EXPECT_EQ(parsed->tcp->flags, TcpFlags::kSyn);
+}
+
+TEST(Packet, ArpSerializeParseRoundTrip) {
+  const Packet original = PacketBuilder()
+                              .eth(MacAddress::from_uint64(5), MacAddress::broadcast())
+                              .arp(ArpOp::kRequest, MacAddress::from_uint64(5),
+                                   Ipv4Address(10, 0, 0, 5), MacAddress(),
+                                   Ipv4Address(10, 0, 0, 9))
+                              .build();
+  const auto parsed = Packet::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->arp.has_value());
+  EXPECT_EQ(parsed->arp->op, ArpOp::kRequest);
+  EXPECT_EQ(parsed->arp->sender_ip, Ipv4Address(10, 0, 0, 5));
+  EXPECT_EQ(parsed->arp->target_ip, Ipv4Address(10, 0, 0, 9));
+}
+
+TEST(Packet, IcmpSerializeParseRoundTrip) {
+  const Packet original = PacketBuilder()
+                              .eth(MacAddress::from_uint64(1), MacAddress::from_uint64(2))
+                              .ipv4(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                                    IpProto::kIcmp)
+                              .icmp(IcmpType::kEchoRequest, 77, 3)
+                              .payload_size(56)
+                              .build();
+  const auto parsed = Packet::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->icmp.has_value());
+  EXPECT_EQ(parsed->icmp->type, IcmpType::kEchoRequest);
+  EXPECT_EQ(parsed->icmp->id, 77);
+  EXPECT_EQ(parsed->icmp->seq, 3);
+  EXPECT_EQ(parsed->payload_size(), 56u);
+}
+
+TEST(Packet, VlanTagRoundTrip) {
+  Packet original = udp_packet();
+  original.eth.vlan_id = 42;
+  const auto parsed = Packet::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->eth.vlan_id, 42);
+  ASSERT_TRUE(parsed->udp.has_value());
+  EXPECT_EQ(parsed->udp->dst_port, 53);
+}
+
+TEST(Packet, ParseRejectsTruncatedFrames) {
+  const auto bytes = udp_packet().serialize();
+  for (std::size_t len : {0u, 5u, 13u, 20u, 30u}) {
+    EXPECT_FALSE(Packet::parse(std::span(bytes.data(), len)).has_value()) << "len=" << len;
+  }
+}
+
+TEST(Packet, WireSizeHasEthernetMinimum) {
+  const Packet tiny = PacketBuilder()
+                          .eth(MacAddress::from_uint64(1), MacAddress::from_uint64(2))
+                          .build();
+  EXPECT_EQ(tiny.wire_size(), 60u);
+}
+
+TEST(FlowKey, ExtractsNineTuple) {
+  const Packet p = udp_packet();
+  const FlowKey key = FlowKey::from_packet(p);
+  EXPECT_EQ(key.dl_src, p.eth.src);
+  EXPECT_EQ(key.dl_dst, p.eth.dst);
+  EXPECT_EQ(key.nw_src, Ipv4Address(192, 168, 1, 10));
+  EXPECT_EQ(key.nw_proto, static_cast<std::uint8_t>(IpProto::kUdp));
+  EXPECT_EQ(key.tp_src, 5353);
+  EXPECT_EQ(key.tp_dst, 53);
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints) {
+  const FlowKey key = FlowKey::from_packet(udp_packet());
+  const FlowKey rev = key.reversed();
+  EXPECT_EQ(rev.dl_src, key.dl_dst);
+  EXPECT_EQ(rev.nw_src, key.nw_dst);
+  EXPECT_EQ(rev.tp_src, key.tp_dst);
+  EXPECT_EQ(rev.reversed(), key);  // involution
+}
+
+TEST(FlowKey, HashDiffersAcrossFlows) {
+  FlowKey a = FlowKey::from_packet(udp_packet());
+  FlowKey b = a;
+  b.tp_src = 5354;
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), FlowKey::from_packet(udp_packet()).hash());
+}
+
+TEST(FlowKey, EqualityIsFieldwise) {
+  FlowKey a = FlowKey::from_packet(udp_packet());
+  FlowKey b = a;
+  EXPECT_EQ(a, b);
+  b.nw_proto = 6;
+  EXPECT_NE(a, b);
+}
+
+// Parameterized round-trip sweep over payload sizes: serialize(parse(x))
+// must preserve wire size and payload bytes for every size class.
+class PacketSizeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PacketSizeRoundTrip, PreservesPayload) {
+  std::vector<std::uint8_t> payload(GetParam());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const Packet original = PacketBuilder()
+                              .eth(MacAddress::from_uint64(3), MacAddress::from_uint64(4))
+                              .ipv4(Ipv4Address(10, 1, 0, 1), Ipv4Address(10, 1, 0, 2),
+                                    IpProto::kTcp)
+                              .tcp(1234, 80)
+                              .payload(make_payload(payload))
+                              .build();
+  const auto parsed = Packet::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  if (GetParam() == 0) {
+    EXPECT_EQ(parsed->payload_size(), 0u);
+  } else {
+    ASSERT_TRUE(parsed->payload != nullptr);
+    EXPECT_EQ(*parsed->payload, payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PacketSizeRoundTrip,
+                         ::testing::Values(0, 1, 7, 64, 512, 1400, 9000));
+
+}  // namespace
+}  // namespace livesec::pkt

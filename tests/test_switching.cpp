@@ -1,0 +1,413 @@
+// Unit tests for the switching layer: legacy learning switch, spanning tree,
+// OpenFlow datapath, Wi-Fi AP radio contention.
+#include <gtest/gtest.h>
+
+#include "openflow/channel.h"
+#include "sim/simulator.h"
+#include "switching/ethernet_switch.h"
+#include "switching/openflow_switch.h"
+#include "switching/spanning_tree.h"
+#include "switching/wifi_ap.h"
+
+namespace livesec::sw {
+namespace {
+
+class Endpoint : public sim::Node {
+ public:
+  Endpoint(sim::Simulator& sim, std::string name) : Node(sim, std::move(name)) { add_port(); }
+  void handle_packet(PortId, pkt::PacketPtr packet) override { received.push_back(packet); }
+  void emit(pkt::PacketPtr p) { send(0, std::move(p)); }
+  std::vector<pkt::PacketPtr> received;
+};
+
+pkt::PacketPtr frame(std::uint64_t src, std::uint64_t dst, std::size_t payload = 100) {
+  return pkt::PacketBuilder()
+      .eth(MacAddress::from_uint64(src), MacAddress::from_uint64(dst))
+      .ipv4(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), pkt::IpProto::kUdp)
+      .udp(1, 2)
+      .payload_size(payload)
+      .finalize();
+}
+
+struct LegacyFixture {
+  sim::Simulator sim;
+  EthernetSwitch sw{sim, "legacy"};
+  Endpoint a{sim, "a"}, b{sim, "b"}, c{sim, "c"};
+  std::vector<std::unique_ptr<sim::Link>> links;
+
+  LegacyFixture() {
+    links.push_back(sim::connect(sim, a.port(0), sw.add_port()));
+    links.push_back(sim::connect(sim, b.port(0), sw.add_port()));
+    links.push_back(sim::connect(sim, c.port(0), sw.add_port()));
+  }
+};
+
+TEST(EthernetSwitch, FloodsUnknownUnicastThenLearns) {
+  LegacyFixture f;
+  f.a.emit(frame(1, 2));  // dst unknown: flood to b and c
+  f.sim.run();
+  EXPECT_EQ(f.b.received.size(), 1u);
+  EXPECT_EQ(f.c.received.size(), 1u);
+  EXPECT_EQ(f.sw.flooded_packets(), 1u);
+
+  f.b.emit(frame(2, 1));  // a was learned: unicast only
+  f.sim.run();
+  EXPECT_EQ(f.a.received.size(), 1u);
+  EXPECT_EQ(f.c.received.size(), 1u);  // unchanged
+  EXPECT_EQ(f.sw.forwarded_packets(), 1u);
+
+  f.a.emit(frame(1, 2));  // b now learned too
+  f.sim.run();
+  EXPECT_EQ(f.b.received.size(), 2u);
+  EXPECT_EQ(f.c.received.size(), 1u);
+}
+
+TEST(EthernetSwitch, BroadcastAlwaysFloods) {
+  LegacyFixture f;
+  f.a.emit(frame(1, 0xFFFFFFFFFFFF));
+  f.sim.run();
+  EXPECT_EQ(f.b.received.size(), 1u);
+  EXPECT_EQ(f.c.received.size(), 1u);
+  EXPECT_EQ(f.a.received.size(), 0u);  // not back out the ingress
+}
+
+TEST(EthernetSwitch, BlockedPortDropsBothDirections) {
+  LegacyFixture f;
+  f.sw.set_port_blocked(2, true);  // c's port
+  f.a.emit(frame(1, 0xFFFFFFFFFFFF));
+  f.sim.run();
+  EXPECT_EQ(f.b.received.size(), 1u);
+  EXPECT_EQ(f.c.received.size(), 0u);
+
+  f.c.emit(frame(3, 1));  // ingress on blocked port: dropped
+  f.sim.run();
+  EXPECT_EQ(f.a.received.size(), 0u);
+  EXPECT_EQ(f.sw.learned_port(MacAddress::from_uint64(3)), kInvalidPort);
+}
+
+TEST(EthernetSwitch, MacAgingForgetsIdleHosts) {
+  sim::Simulator sim;
+  EthernetSwitch::Config config;
+  config.mac_aging = 1 * kSecond;
+  EthernetSwitch sw(sim, "legacy", config);
+  Endpoint a(sim, "a"), b(sim, "b");
+  auto l1 = sim::connect(sim, a.port(0), sw.add_port());
+  auto l2 = sim::connect(sim, b.port(0), sw.add_port());
+
+  a.emit(frame(1, 2));
+  sim.run();
+  EXPECT_EQ(sw.learned_port(MacAddress::from_uint64(1)), 0u);
+  sim.run_until(sim.now() + 2 * kSecond);
+  EXPECT_EQ(sw.learned_port(MacAddress::from_uint64(1)), kInvalidPort);
+}
+
+TEST(EthernetSwitch, DoesNotLearnMulticastSources) {
+  LegacyFixture f;
+  f.a.emit(frame(0xFFFFFFFFFFFF, 2));
+  f.sim.run();
+  EXPECT_EQ(f.sw.learned_port(MacAddress::broadcast()), kInvalidPort);
+}
+
+// --- SpanningTree ---------------------------------------------------------------
+
+TEST(SpanningTree, TriangleBlocksExactlyOneEdge) {
+  SpanningTree graph;
+  graph.add_edge({{0, 0}, {1, 0}, 1});
+  graph.add_edge({{1, 1}, {2, 0}, 1});
+  graph.add_edge({{2, 1}, {0, 1}, 1});
+  EXPECT_TRUE(graph.connected());
+  EXPECT_EQ(graph.compute_tree().size(), 2u);
+  EXPECT_EQ(graph.compute_blocked().size(), 1u);
+}
+
+TEST(SpanningTree, TreeTopologyBlocksNothing) {
+  SpanningTree graph;
+  graph.add_edge({{0, 0}, {1, 0}, 1});
+  graph.add_edge({{1, 1}, {2, 0}, 1});
+  graph.add_edge({{1, 2}, {3, 0}, 1});
+  EXPECT_TRUE(graph.connected());
+  EXPECT_TRUE(graph.compute_blocked().empty());
+}
+
+TEST(SpanningTree, DisconnectedGraphDetected) {
+  SpanningTree graph;
+  graph.add_edge({{0, 0}, {1, 0}, 1});
+  graph.add_node(5);
+  EXPECT_FALSE(graph.connected());
+}
+
+TEST(SpanningTree, PrefersLowerCostEdges) {
+  SpanningTree graph;
+  graph.add_edge({{0, 0}, {1, 0}, 10});  // expensive
+  graph.add_edge({{0, 1}, {2, 0}, 1});
+  graph.add_edge({{2, 1}, {1, 1}, 1});
+  const auto blocked = graph.compute_blocked();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0].cost, 10u);
+}
+
+// Property sweep: on K_n (complete graph), exactly n-1 edges survive and the
+// blocked count is n(n-1)/2 - (n-1), for a range of n.
+class SpanningTreeComplete : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SpanningTreeComplete, KeepsExactlyNMinusOneEdges) {
+  const std::uint32_t n = GetParam();
+  SpanningTree graph;
+  std::uint32_t port_counter = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      graph.add_edge({{i, port_counter++}, {j, port_counter++}, 1});
+    }
+  }
+  EXPECT_TRUE(graph.connected());
+  EXPECT_EQ(graph.compute_tree().size(), n - 1);
+  EXPECT_EQ(graph.compute_blocked().size(), n * (n - 1) / 2 - (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(CompleteGraphs, SpanningTreeComplete, ::testing::Values(2, 3, 5, 8, 12));
+
+// --- OpenFlowSwitch ----------------------------------------------------------------
+
+class RecordingController : public of::ControllerEndpoint {
+ public:
+  void handle_switch_message(DatapathId dpid, const of::Message& m) override {
+    messages.emplace_back(dpid, m);
+  }
+  void handle_switch_connected(DatapathId dpid, const of::FeaturesReply& f) override {
+    connected.emplace_back(dpid, f);
+  }
+  void handle_switch_disconnected(DatapathId) override {}
+  std::vector<std::pair<DatapathId, of::Message>> messages;
+  std::vector<std::pair<DatapathId, of::FeaturesReply>> connected;
+
+  const of::PacketIn* last_packet_in() const {
+    for (auto it = messages.rbegin(); it != messages.rend(); ++it) {
+      if (const auto* pin = std::get_if<of::PacketIn>(&it->second)) return pin;
+    }
+    return nullptr;
+  }
+};
+
+struct OfFixture {
+  sim::Simulator sim;
+  OpenFlowSwitch sw{sim, "ovs", 1};
+  RecordingController controller;
+  of::SecureChannel channel{sim, sw, controller};
+  Endpoint host{sim, "host"}, peer{sim, "peer"};
+  std::vector<std::unique_ptr<sim::Link>> links;
+
+  OfFixture() {
+    links.push_back(sim::connect(sim, host.port(0), sw.add_port(PortRole::kNetworkPeriphery)));
+    links.push_back(sim::connect(sim, peer.port(0), sw.add_port(PortRole::kLegacySwitching)));
+    sw.connect_controller(channel);
+    sim.run();
+  }
+};
+
+TEST(OpenFlowSwitch, HandshakeAnnouncesFeatures) {
+  OfFixture f;
+  ASSERT_EQ(f.controller.connected.size(), 1u);
+  EXPECT_EQ(f.controller.connected[0].first, 1u);
+  EXPECT_EQ(f.controller.connected[0].second.num_ports, 2u);
+}
+
+TEST(OpenFlowSwitch, NpMissPuntsToController) {
+  OfFixture f;
+  f.host.emit(frame(1, 2));
+  f.sim.run();
+  const of::PacketIn* pin = f.controller.last_packet_in();
+  ASSERT_NE(pin, nullptr);
+  EXPECT_EQ(pin->in_port, 0u);
+  EXPECT_EQ(f.sw.packet_ins_sent(), 1u);
+}
+
+TEST(OpenFlowSwitch, LsMissDropsSilently) {
+  OfFixture f;
+  f.peer.emit(frame(5, 6));
+  f.sim.run();
+  EXPECT_EQ(f.sw.packet_ins_sent(), 0u);
+  EXPECT_EQ(f.sw.miss_drops(), 1u);
+}
+
+TEST(OpenFlowSwitch, LldpFromLsPortStillPunts) {
+  OfFixture f;
+  pkt::Packet lldp;
+  lldp.eth.src = MacAddress::from_uint64(9);
+  lldp.eth.dst = MacAddress::from_uint64(0x0180c200000e);
+  lldp.eth.ether_type = static_cast<std::uint16_t>(pkt::EtherType::kLldp);
+  f.peer.emit(pkt::finalize(std::move(lldp)));
+  f.sim.run();
+  EXPECT_EQ(f.sw.packet_ins_sent(), 1u);
+}
+
+TEST(OpenFlowSwitch, InstalledEntryForwardsWithoutController) {
+  OfFixture f;
+  auto p = frame(1, 2);
+  of::FlowMod mod;
+  mod.entry.match = of::Match::exact(0, pkt::FlowKey::from_packet(*p));
+  mod.entry.actions = of::output_to(1);
+  f.channel.send_to_switch(mod);
+  f.sim.run();
+
+  f.host.emit(p);
+  f.sim.run();
+  EXPECT_EQ(f.peer.received.size(), 1u);
+  EXPECT_EQ(f.sw.packet_ins_sent(), 0u);
+}
+
+TEST(OpenFlowSwitch, SetDlDstRewritesBeforeOutput) {
+  OfFixture f;
+  auto p = frame(1, 2);
+  const MacAddress se_mac = MacAddress::from_uint64(0x5E);
+  of::FlowMod mod;
+  mod.entry.match = of::Match::exact(0, pkt::FlowKey::from_packet(*p));
+  mod.entry.actions = {of::ActionSetDlDst{se_mac}, of::ActionOutput{1}};
+  f.channel.send_to_switch(mod);
+  f.sim.run();
+
+  f.host.emit(p);
+  f.sim.run();
+  ASSERT_EQ(f.peer.received.size(), 1u);
+  EXPECT_EQ(f.peer.received[0]->eth.dst, se_mac);
+  EXPECT_EQ(p->eth.dst, MacAddress::from_uint64(2));  // original untouched
+}
+
+TEST(OpenFlowSwitch, DropActionDiscards) {
+  OfFixture f;
+  auto p = frame(1, 2);
+  of::FlowMod mod;
+  mod.entry.match = of::Match::exact(0, pkt::FlowKey::from_packet(*p));
+  mod.entry.actions = of::drop();
+  f.channel.send_to_switch(mod);
+  f.sim.run();
+
+  f.host.emit(p);
+  f.sim.run();
+  EXPECT_EQ(f.peer.received.size(), 0u);
+  EXPECT_EQ(f.sw.packet_ins_sent(), 0u);
+}
+
+TEST(OpenFlowSwitch, FlowModReleasesBufferedPacket) {
+  OfFixture f;
+  f.host.emit(frame(1, 2));
+  f.sim.run();
+  const of::PacketIn* pin = f.controller.last_packet_in();
+  ASSERT_NE(pin, nullptr);
+
+  of::FlowMod mod;
+  mod.entry.match = of::Match::exact(0, pkt::FlowKey::from_packet(*pin->packet));
+  mod.entry.actions = of::output_to(1);
+  mod.buffer_id = pin->buffer_id;
+  f.channel.send_to_switch(mod);
+  f.sim.run();
+  EXPECT_EQ(f.peer.received.size(), 1u);  // the first packet was not lost
+}
+
+TEST(OpenFlowSwitch, PacketOutInjects) {
+  OfFixture f;
+  of::PacketOut out;
+  out.actions = of::output_to(0);
+  out.packet = frame(7, 1);
+  f.channel.send_to_switch(out);
+  f.sim.run();
+  EXPECT_EQ(f.host.received.size(), 1u);
+}
+
+TEST(OpenFlowSwitch, FlowRemovedNotifiesController) {
+  OfFixture f;
+  auto p = frame(1, 2);
+  of::FlowMod mod;
+  mod.entry.match = of::Match::exact(0, pkt::FlowKey::from_packet(*p));
+  mod.entry.actions = of::output_to(1);
+  mod.entry.idle_timeout = 10 * kMillisecond;
+  mod.entry.cookie = 0xC00CE;
+  f.channel.send_to_switch(mod);
+  f.sim.run();
+  f.host.emit(p);
+  f.sim.run();
+
+  // Another miss later forces a lookup that lazily expires the idle entry.
+  f.sim.run_until(f.sim.now() + 1 * kSecond);
+  f.host.emit(frame(1, 3));
+  f.sim.run();
+
+  bool saw_removed = false;
+  for (const auto& [dpid, m] : f.controller.messages) {
+    if (const auto* removed = std::get_if<of::FlowRemoved>(&m)) {
+      EXPECT_EQ(removed->cookie, 0xC00CEu);
+      EXPECT_EQ(removed->packet_count, 1u);
+      saw_removed = true;
+    }
+  }
+  EXPECT_TRUE(saw_removed);
+}
+
+TEST(OpenFlowSwitch, StatsReplyReportsTable) {
+  OfFixture f;
+  auto p = frame(1, 2);
+  of::FlowMod mod;
+  mod.entry.match = of::Match::exact(0, pkt::FlowKey::from_packet(*p));
+  mod.entry.actions = of::output_to(1);
+  f.channel.send_to_switch(mod);
+  f.sim.run();
+  f.host.emit(p);
+  f.sim.run();
+
+  f.channel.send_to_switch(of::StatsRequest{});
+  f.sim.run();
+  bool saw_stats = false;
+  for (const auto& [dpid, m] : f.controller.messages) {
+    if (const auto* stats = std::get_if<of::StatsReply>(&m)) {
+      ASSERT_EQ(stats->flows.size(), 1u);
+      EXPECT_EQ(stats->flows[0].packet_count, 1u);
+      saw_stats = true;
+    }
+  }
+  EXPECT_TRUE(saw_stats);
+}
+
+// --- WifiAccessPoint -----------------------------------------------------------------
+
+TEST(WifiAccessPoint, RadioCapsAggregateStationThroughput) {
+  sim::Simulator sim;
+  WifiAccessPoint ap(sim, "ap", 10);
+  RecordingController controller;
+  of::SecureChannel channel(sim, ap, controller);
+
+  Endpoint sta1(sim, "sta1"), sta2(sim, "sta2"), uplink(sim, "uplink");
+  std::vector<std::unique_ptr<sim::Link>> links;
+  links.push_back(sim::connect(sim, sta1.port(0), ap.add_station_port()));
+  links.push_back(sim::connect(sim, sta2.port(0), ap.add_station_port()));
+  links.push_back(sim::connect(sim, uplink.port(0), ap.add_uplink_port()));
+  ap.connect_controller(channel);
+  sim.run();
+
+  // Pre-install forwarding for both stations toward the uplink.
+  for (auto src : {1, 2}) {
+    auto p = frame(static_cast<std::uint64_t>(src), 99, 1400);
+    of::FlowMod mod;
+    mod.entry.match = of::Match::exact(static_cast<PortId>(src - 1),
+                                       pkt::FlowKey::from_packet(*p));
+    mod.entry.actions = of::output_to(2);
+    channel.send_to_switch(mod);
+  }
+  sim.run();
+
+  std::uint64_t offered_bytes = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto p1 = frame(1, 99, 1400);
+    auto p2 = frame(2, 99, 1400);
+    offered_bytes += p1->wire_size() + p2->wire_size();
+    sta1.emit(std::move(p1));
+    sta2.emit(std::move(p2));
+  }
+  sim.run();
+  ASSERT_EQ(uplink.received.size(), 400u);
+  const double rate = static_cast<double>(offered_bytes) * 8.0 / to_seconds(sim.now());
+  // Aggregate throughput must be pinned near the 43 Mbps radio, not 2x.
+  EXPECT_LT(rate, 46e6);
+  EXPECT_GT(rate, 38e6);
+}
+
+}  // namespace
+}  // namespace livesec::sw

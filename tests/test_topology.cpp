@@ -1,0 +1,139 @@
+// Unit tests for topology discovery: LLDP codec, link table, topology graph.
+#include <gtest/gtest.h>
+
+#include "topology/lldp.h"
+#include "topology/link_table.h"
+#include "topology/topology_graph.h"
+
+namespace livesec::topo {
+namespace {
+
+TEST(Lldp, RoundTripsChassisAndPort) {
+  LldpInfo info;
+  info.chassis_id = 0xDEADBEEF12345678ull;
+  info.port_id = 42;
+  const pkt::Packet packet = info.to_packet();
+  EXPECT_EQ(packet.eth.ether_type, static_cast<std::uint16_t>(pkt::EtherType::kLldp));
+  EXPECT_EQ(packet.eth.dst, LldpInfo::multicast_mac());
+
+  const auto decoded = LldpInfo::from_packet(packet);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->chassis_id, info.chassis_id);
+  EXPECT_EQ(decoded->port_id, info.port_id);
+}
+
+TEST(Lldp, SurvivesWireSerialization) {
+  LldpInfo info{7, 3};
+  const auto bytes = info.to_packet().serialize();
+  const auto parsed = pkt::Packet::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  const auto decoded = LldpInfo::from_packet(*parsed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->chassis_id, 7u);
+  EXPECT_EQ(decoded->port_id, 3u);
+}
+
+TEST(Lldp, RejectsNonLldpPackets) {
+  const pkt::Packet p = pkt::PacketBuilder()
+                            .eth(MacAddress::from_uint64(1), MacAddress::from_uint64(2))
+                            .ipv4(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                                  pkt::IpProto::kUdp)
+                            .udp(1, 2)
+                            .build();
+  EXPECT_FALSE(LldpInfo::from_packet(p).has_value());
+}
+
+TEST(Lldp, RejectsTruncatedTlvs) {
+  LldpInfo info{7, 3};
+  pkt::Packet packet = info.to_packet();
+  std::vector<std::uint8_t> bytes(packet.payload->begin(), packet.payload->end());
+  bytes.resize(bytes.size() / 2);
+  packet.payload = pkt::make_payload(std::move(bytes));
+  EXPECT_FALSE(LldpInfo::from_packet(packet).has_value());
+}
+
+TEST(LinkTable, AddIsBidirectional) {
+  LinkTable table;
+  table.add(AsLink{1, 10, 2, 20});
+  const auto forward = table.find(1, 2);
+  ASSERT_TRUE(forward.has_value());
+  EXPECT_EQ(forward->src_port, 10u);
+  EXPECT_EQ(forward->dst_port, 20u);
+  const auto backward = table.find(2, 1);
+  ASSERT_TRUE(backward.has_value());
+  EXPECT_EQ(backward->src_port, 20u);
+  EXPECT_EQ(backward->dst_port, 10u);
+}
+
+TEST(LinkTable, FullMeshDetection) {
+  LinkTable table;
+  const std::vector<DatapathId> switches{1, 2, 3};
+  EXPECT_FALSE(table.is_full_mesh(switches));
+  table.add(AsLink{1, 0, 2, 0});
+  table.add(AsLink{1, 0, 3, 0});
+  EXPECT_FALSE(table.is_full_mesh(switches));
+  table.add(AsLink{2, 0, 3, 0});
+  EXPECT_TRUE(table.is_full_mesh(switches));
+}
+
+TEST(LinkTable, RemoveSwitchDropsItsLinks) {
+  LinkTable table;
+  table.add(AsLink{1, 0, 2, 0});
+  table.add(AsLink{2, 1, 3, 0});
+  table.remove_switch(2);
+  EXPECT_FALSE(table.find(1, 2).has_value());
+  EXPECT_FALSE(table.find(2, 3).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(TopologyGraph, TracksSwitchesAndNodes) {
+  TopologyGraph graph;
+  graph.add_switch({1, "ovs1", NodeKind::kAsSwitch, 0});
+  graph.add_switch({2, "ap1", NodeKind::kWifiAp, 0});
+  EXPECT_EQ(graph.switch_count(), 2u);
+  EXPECT_TRUE(graph.has_switch(1));
+
+  TopologyGraph::AttachedNode host;
+  host.name = "10.0.0.5";
+  host.kind = NodeKind::kHost;
+  host.dpid = 1;
+  host.port = 3;
+  graph.upsert_node("mac1", host);
+  EXPECT_EQ(graph.node_count(), 1u);
+  ASSERT_NE(graph.node("mac1"), nullptr);
+  EXPECT_EQ(graph.node("mac1")->dpid, 1u);
+}
+
+TEST(TopologyGraph, RemoveSwitchCascadesToNodes) {
+  TopologyGraph graph;
+  graph.add_switch({1, "ovs1", NodeKind::kAsSwitch, 0});
+  TopologyGraph::AttachedNode host;
+  host.dpid = 1;
+  graph.upsert_node("h", host);
+  graph.links().add(AsLink{1, 0, 2, 0});
+
+  graph.remove_switch(1);
+  EXPECT_FALSE(graph.has_switch(1));
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(graph.links().size(), 0u);
+}
+
+TEST(TopologyGraph, DotExportContainsAllElements) {
+  TopologyGraph graph;
+  graph.add_switch({1, "ovs1", NodeKind::kAsSwitch, 0});
+  graph.add_switch({2, "ovs2", NodeKind::kAsSwitch, 0});
+  graph.links().add(AsLink{1, 0, 2, 0});
+  TopologyGraph::AttachedNode host;
+  host.name = "h1";
+  host.dpid = 1;
+  graph.upsert_node("h1", host);
+
+  const std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("sw1"), std::string::npos);
+  EXPECT_NE(dot.find("sw2"), std::string::npos);
+  EXPECT_NE(dot.find("sw1 -- sw2"), std::string::npos);
+  EXPECT_NE(dot.find("\"h1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace livesec::topo

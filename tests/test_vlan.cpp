@@ -1,0 +1,90 @@
+// VLAN-aware policy tests: the 9-tuple includes the 802.1Q tag (paper
+// §III.C.3 lists "VLAN id" first), so per-tenant policies and isolation are
+// expressible directly in the policy table.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace livesec {
+namespace {
+
+/// Sends one tagged UDP packet from `src` (bypassing Host's untagged path).
+void send_tagged(net::Host& src, const net::Host& dst, std::uint16_t vlan,
+                 std::uint16_t dst_port) {
+  pkt::Packet p = pkt::PacketBuilder()
+                      .eth(src.mac(), dst.mac())
+                      .vlan(vlan)
+                      .ipv4(src.ip(), dst.ip(), pkt::IpProto::kUdp)
+                      .udp(4000, dst_port)
+                      .payload("tenant data")
+                      .build();
+  src.port(0).transmit(pkt::finalize(std::move(p)));
+}
+
+struct VlanNet {
+  net::Network network;
+  sw::EthernetSwitch& backbone;
+  sw::OpenFlowSwitch& ovs1;
+  sw::OpenFlowSwitch& ovs2;
+  net::Host& tenant_a;
+  net::Host& tenant_b;
+  net::Host& server;
+
+  VlanNet()
+      : backbone(network.add_legacy_switch("backbone")),
+        ovs1(network.add_as_switch("ovs1", backbone)),
+        ovs2(network.add_as_switch("ovs2", backbone)),
+        tenant_a(network.add_host("tenant-a", ovs1)),
+        tenant_b(network.add_host("tenant-b", ovs1)),
+        server(network.add_host("server", ovs2)) {}
+};
+
+TEST(Vlan, TaggedFlowsMatchVlanPolicies) {
+  VlanNet net;
+  // Tenant VLAN 10 is denied access to the server; VLAN 20 allowed.
+  ctrl::Policy deny10;
+  deny10.name = "deny-vlan10";
+  deny10.priority = 10;
+  deny10.vlan_id = 10;
+  deny10.action = ctrl::PolicyAction::kDeny;
+  net.network.controller().policies().add(deny10);
+  net.network.start();
+
+  send_tagged(net.tenant_a, net.server, 10, 9000);
+  send_tagged(net.tenant_b, net.server, 20, 9001);
+  net.network.run_for(300 * kMillisecond);
+
+  // Only the VLAN-20 packet went through.
+  EXPECT_EQ(net.server.rx_ip_packets(), 1u);
+  EXPECT_EQ(net.network.controller().stats().flows_denied, 1u);
+}
+
+TEST(Vlan, TagIsPartOfFlowIdentity) {
+  VlanNet net;
+  net.network.start();
+  // Same 5-tuple, two different tags: two distinct flows in the controller.
+  send_tagged(net.tenant_a, net.server, 10, 9000);
+  send_tagged(net.tenant_a, net.server, 20, 9000);
+  net.network.run_for(300 * kMillisecond);
+  EXPECT_EQ(net.network.controller().stats().flows_installed, 2u);
+  EXPECT_EQ(net.server.rx_ip_packets(), 2u);
+}
+
+TEST(Vlan, TaggedFrameSurvivesWireCodec) {
+  pkt::Packet p = pkt::PacketBuilder()
+                      .eth(MacAddress::from_uint64(1), MacAddress::from_uint64(2))
+                      .vlan(42)
+                      .ipv4(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                            pkt::IpProto::kUdp)
+                      .udp(1, 2)
+                      .payload("x")
+                      .build();
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(p);
+  EXPECT_EQ(key.vlan_id, 42);
+  const auto reparsed = pkt::Packet::parse(p.serialize());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(pkt::FlowKey::from_packet(*reparsed), key);
+}
+
+}  // namespace
+}  // namespace livesec

@@ -1,0 +1,150 @@
+// Tests for the WebUI rendering layer and controller state exposition.
+#include <gtest/gtest.h>
+
+#include "monitor/webui.h"
+#include "net/network.h"
+#include "net/traffic.h"
+
+namespace livesec {
+namespace {
+
+struct UiNet {
+  ctrl::Controller::Config config;
+  net::Network network;
+  sw::EthernetSwitch& backbone;
+  sw::OpenFlowSwitch& ovs;
+  sw::WifiAccessPoint& ap;
+
+  static ctrl::Controller::Config make_config() {
+    ctrl::Controller::Config c;
+    c.stats_interval = 500 * kMillisecond;
+    return c;
+  }
+
+  UiNet()
+      : network(make_config()),
+        backbone(network.add_legacy_switch("backbone")),
+        ovs(network.add_as_switch("ovs", backbone)),
+        ap(network.add_wifi_ap("ap", backbone)) {}
+};
+
+/// Naive structural JSON validator: balanced braces/brackets outside
+/// strings, no trailing garbage. Catches the classic comma/quote bugs.
+bool json_well_formed(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(WebUi, JsonSnapshotIsWellFormedAndComplete) {
+  UiNet net;
+  auto& host = net.network.add_host("host", net.ovs);
+  net.network.add_service_element(svc::ServiceType::kIntrusionDetection, net.ovs);
+  net.network.start();
+  (void)host;
+
+  mon::WebUi ui(net.network.controller());
+  const std::string json = ui.snapshot_json(0, net.network.sim().now());
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  for (const char* field : {"\"switches\"", "\"nodes\"", "\"users\"", "\"service_elements\"",
+                            "\"full_mesh\"", "\"events\"", "\"wifi_ap\"", "\"as_switch\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(WebUi, JsonEscapesHostileSubjects) {
+  UiNet net;
+  net.network.start();
+  mon::NetworkEvent e;
+  e.time = net.network.sim().now();
+  e.type = mon::EventType::kAttackDetected;
+  e.subject = "quote\" brace} back\\slash";
+  net.network.controller().events().append(std::move(e));
+
+  mon::WebUi ui(net.network.controller());
+  const std::string json = ui.snapshot_json(0, net.network.sim().now() + 1);
+  EXPECT_TRUE(json_well_formed(json)) << json;
+}
+
+TEST(WebUi, SwitchLoadAppearsAfterStatsPolling) {
+  UiNet net;
+  auto& a = net.network.add_host("a", net.ovs);
+  auto& b = net.network.add_host("b", net.ovs);
+  net.network.start();
+
+  net::UdpCbrApp app(a, {.dst = b.ip(), .rate_bps = 20e6, .duration = 2 * kSecond});
+  app.start();
+  net.network.run_for(3 * kSecond);
+
+  mon::WebUi ui(net.network.controller());
+  const std::string text = ui.snapshot_text(0, net.network.sim().now());
+  EXPECT_NE(text.find("load="), std::string::npos) << text;
+  const std::string json = ui.snapshot_json(0, net.network.sim().now());
+  EXPECT_NE(json.find("\"bps\":"), std::string::npos);
+}
+
+TEST(WebUi, ReplayWindowsArePrecise) {
+  UiNet net;
+  net.network.start();
+  auto& events = net.network.controller().events();
+  const SimTime t0 = net.network.sim().now();
+
+  mon::NetworkEvent early;
+  early.time = t0;
+  early.type = mon::EventType::kFlowStart;
+  early.subject = "EARLY-MARKER";
+  events.append(early);
+
+  net.network.run_for(1 * kSecond);
+  mon::NetworkEvent late;
+  late.time = net.network.sim().now();
+  late.type = mon::EventType::kFlowEnd;
+  late.subject = "LATE-MARKER";
+  events.append(late);
+
+  mon::WebUi ui(net.network.controller());
+  const std::string first_window = ui.replay_text(t0, t0 + 500 * kMillisecond);
+  EXPECT_NE(first_window.find("EARLY-MARKER"), std::string::npos);
+  EXPECT_EQ(first_window.find("LATE-MARKER"), std::string::npos);
+
+  const std::string second_window =
+      ui.replay_text(t0 + 500 * kMillisecond, net.network.sim().now() + 1);
+  EXPECT_EQ(second_window.find("EARLY-MARKER"), std::string::npos);
+  EXPECT_NE(second_window.find("LATE-MARKER"), std::string::npos);
+}
+
+TEST(WebUi, TopologyDotExportsFromLiveController) {
+  UiNet net;
+  net.network.add_host("h", net.ovs);
+  net.network.start();
+  const std::string dot = net.network.controller().topology().to_dot();
+  EXPECT_NE(dot.find("graph livesec"), std::string::npos);
+  EXPECT_NE(dot.find("sw1"), std::string::npos);
+  EXPECT_NE(dot.find("sw1 -- sw2"), std::string::npos);  // discovered AS link
+}
+
+}  // namespace
+}  // namespace livesec
