@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_throughput.dir/bench_access_throughput.cpp.o"
+  "CMakeFiles/bench_access_throughput.dir/bench_access_throughput.cpp.o.d"
+  "bench_access_throughput"
+  "bench_access_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

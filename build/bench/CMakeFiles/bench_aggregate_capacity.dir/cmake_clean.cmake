@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregate_capacity.dir/bench_aggregate_capacity.cpp.o"
+  "CMakeFiles/bench_aggregate_capacity.dir/bench_aggregate_capacity.cpp.o.d"
+  "bench_aggregate_capacity"
+  "bench_aggregate_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_onpath.dir/bench_baseline_onpath.cpp.o"
+  "CMakeFiles/bench_baseline_onpath.dir/bench_baseline_onpath.cpp.o.d"
+  "bench_baseline_onpath"
+  "bench_baseline_onpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_onpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

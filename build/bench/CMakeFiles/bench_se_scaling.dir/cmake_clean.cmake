@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_se_scaling.dir/bench_se_scaling.cpp.o"
+  "CMakeFiles/bench_se_scaling.dir/bench_se_scaling.cpp.o.d"
+  "bench_se_scaling"
+  "bench_se_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_se_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_campus_deployment.dir/campus_deployment.cpp.o"
+  "CMakeFiles/example_campus_deployment.dir/campus_deployment.cpp.o.d"
+  "example_campus_deployment"
+  "example_campus_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_campus_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interactive_policy.dir/interactive_policy.cpp.o"
+  "CMakeFiles/example_interactive_policy.dir/interactive_policy.cpp.o.d"
+  "example_interactive_policy"
+  "example_interactive_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interactive_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

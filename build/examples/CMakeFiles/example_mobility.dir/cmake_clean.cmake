@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mobility.dir/mobility.cpp.o"
+  "CMakeFiles/example_mobility.dir/mobility.cpp.o.d"
+  "example_mobility"
+  "example_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_forensics.dir/trace_forensics.cpp.o"
+  "CMakeFiles/example_trace_forensics.dir/trace_forensics.cpp.o.d"
+  "example_trace_forensics"
+  "example_trace_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/ip_address.cpp" "src/CMakeFiles/livesec.dir/common/ip_address.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/common/ip_address.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/livesec.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/mac_address.cpp" "src/CMakeFiles/livesec.dir/common/mac_address.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/common/mac_address.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/livesec.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/livesec.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/common/types.cpp.o.d"
+  "/root/repo/src/controller/certification.cpp" "src/CMakeFiles/livesec.dir/controller/certification.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/certification.cpp.o.d"
+  "/root/repo/src/controller/controller.cpp" "src/CMakeFiles/livesec.dir/controller/controller.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/controller.cpp.o.d"
+  "/root/repo/src/controller/dhcp_pool.cpp" "src/CMakeFiles/livesec.dir/controller/dhcp_pool.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/dhcp_pool.cpp.o.d"
+  "/root/repo/src/controller/load_balancer.cpp" "src/CMakeFiles/livesec.dir/controller/load_balancer.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/load_balancer.cpp.o.d"
+  "/root/repo/src/controller/policy.cpp" "src/CMakeFiles/livesec.dir/controller/policy.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/policy.cpp.o.d"
+  "/root/repo/src/controller/policy_parser.cpp" "src/CMakeFiles/livesec.dir/controller/policy_parser.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/policy_parser.cpp.o.d"
+  "/root/repo/src/controller/routing_table.cpp" "src/CMakeFiles/livesec.dir/controller/routing_table.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/routing_table.cpp.o.d"
+  "/root/repo/src/controller/service_registry.cpp" "src/CMakeFiles/livesec.dir/controller/service_registry.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/controller/service_registry.cpp.o.d"
+  "/root/repo/src/monitor/event.cpp" "src/CMakeFiles/livesec.dir/monitor/event.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/monitor/event.cpp.o.d"
+  "/root/repo/src/monitor/event_store.cpp" "src/CMakeFiles/livesec.dir/monitor/event_store.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/monitor/event_store.cpp.o.d"
+  "/root/repo/src/monitor/monitoring.cpp" "src/CMakeFiles/livesec.dir/monitor/monitoring.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/monitor/monitoring.cpp.o.d"
+  "/root/repo/src/monitor/trace.cpp" "src/CMakeFiles/livesec.dir/monitor/trace.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/monitor/trace.cpp.o.d"
+  "/root/repo/src/monitor/webui.cpp" "src/CMakeFiles/livesec.dir/monitor/webui.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/monitor/webui.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/livesec.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/middlebox.cpp" "src/CMakeFiles/livesec.dir/net/middlebox.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/net/middlebox.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/livesec.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/CMakeFiles/livesec.dir/net/traffic.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/net/traffic.cpp.o.d"
+  "/root/repo/src/openflow/action.cpp" "src/CMakeFiles/livesec.dir/openflow/action.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/openflow/action.cpp.o.d"
+  "/root/repo/src/openflow/channel.cpp" "src/CMakeFiles/livesec.dir/openflow/channel.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/openflow/channel.cpp.o.d"
+  "/root/repo/src/openflow/flow_table.cpp" "src/CMakeFiles/livesec.dir/openflow/flow_table.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/openflow/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/CMakeFiles/livesec.dir/openflow/match.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/openflow/match.cpp.o.d"
+  "/root/repo/src/openflow/messages.cpp" "src/CMakeFiles/livesec.dir/openflow/messages.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/openflow/messages.cpp.o.d"
+  "/root/repo/src/openflow/wire.cpp" "src/CMakeFiles/livesec.dir/openflow/wire.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/openflow/wire.cpp.o.d"
+  "/root/repo/src/packet/dhcp.cpp" "src/CMakeFiles/livesec.dir/packet/dhcp.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/packet/dhcp.cpp.o.d"
+  "/root/repo/src/packet/flow_key.cpp" "src/CMakeFiles/livesec.dir/packet/flow_key.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/packet/flow_key.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/CMakeFiles/livesec.dir/packet/headers.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/packet/headers.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/CMakeFiles/livesec.dir/packet/packet.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/packet/packet.cpp.o.d"
+  "/root/repo/src/services/firewall/firewall_engine.cpp" "src/CMakeFiles/livesec.dir/services/firewall/firewall_engine.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/firewall/firewall_engine.cpp.o.d"
+  "/root/repo/src/services/ids/aho_corasick.cpp" "src/CMakeFiles/livesec.dir/services/ids/aho_corasick.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/ids/aho_corasick.cpp.o.d"
+  "/root/repo/src/services/ids/ids_engine.cpp" "src/CMakeFiles/livesec.dir/services/ids/ids_engine.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/ids/ids_engine.cpp.o.d"
+  "/root/repo/src/services/ids/signature.cpp" "src/CMakeFiles/livesec.dir/services/ids/signature.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/ids/signature.cpp.o.d"
+  "/root/repo/src/services/l7/l7_classifier.cpp" "src/CMakeFiles/livesec.dir/services/l7/l7_classifier.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/l7/l7_classifier.cpp.o.d"
+  "/root/repo/src/services/message.cpp" "src/CMakeFiles/livesec.dir/services/message.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/message.cpp.o.d"
+  "/root/repo/src/services/scanner/virus_scanner.cpp" "src/CMakeFiles/livesec.dir/services/scanner/virus_scanner.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/scanner/virus_scanner.cpp.o.d"
+  "/root/repo/src/services/service_element.cpp" "src/CMakeFiles/livesec.dir/services/service_element.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/services/service_element.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/livesec.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/CMakeFiles/livesec.dir/sim/node.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/sim/node.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/livesec.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/switching/ethernet_switch.cpp" "src/CMakeFiles/livesec.dir/switching/ethernet_switch.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/switching/ethernet_switch.cpp.o.d"
+  "/root/repo/src/switching/openflow_switch.cpp" "src/CMakeFiles/livesec.dir/switching/openflow_switch.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/switching/openflow_switch.cpp.o.d"
+  "/root/repo/src/switching/spanning_tree.cpp" "src/CMakeFiles/livesec.dir/switching/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/switching/spanning_tree.cpp.o.d"
+  "/root/repo/src/switching/wifi_ap.cpp" "src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o.d"
+  "/root/repo/src/topology/link_table.cpp" "src/CMakeFiles/livesec.dir/topology/link_table.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/topology/link_table.cpp.o.d"
+  "/root/repo/src/topology/lldp.cpp" "src/CMakeFiles/livesec.dir/topology/lldp.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/topology/lldp.cpp.o.d"
+  "/root/repo/src/topology/topology_graph.cpp" "src/CMakeFiles/livesec.dir/topology/topology_graph.cpp.o" "gcc" "src/CMakeFiles/livesec.dir/topology/topology_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/livesec_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_controller_edge.cpp" "tests/CMakeFiles/livesec_tests.dir/test_controller_edge.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_controller_edge.cpp.o.d"
+  "/root/repo/tests/test_controller_units.cpp" "tests/CMakeFiles/livesec_tests.dir/test_controller_units.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_controller_units.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/livesec_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_firewall.cpp" "tests/CMakeFiles/livesec_tests.dir/test_firewall.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_firewall.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/livesec_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/livesec_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/livesec_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_openflow.cpp" "tests/CMakeFiles/livesec_tests.dir/test_openflow.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_openflow.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/livesec_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/livesec_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_resilience.cpp" "tests/CMakeFiles/livesec_tests.dir/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_resilience.cpp.o.d"
+  "/root/repo/tests/test_services.cpp" "tests/CMakeFiles/livesec_tests.dir/test_services.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_services.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/livesec_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_switching.cpp" "tests/CMakeFiles/livesec_tests.dir/test_switching.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_switching.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/livesec_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_vlan.cpp" "tests/CMakeFiles/livesec_tests.dir/test_vlan.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_vlan.cpp.o.d"
+  "/root/repo/tests/test_webui.cpp" "tests/CMakeFiles/livesec_tests.dir/test_webui.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_webui.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/livesec_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/livesec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
