@@ -46,7 +46,71 @@ void BM_FlowTableLookup(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(128)->Arg(1024)->Arg(100)->Arg(1000)->Arg(10000);
+
+// M1b: reference linear scan at the same table sizes — what lookup cost
+// before the exact-match hash tier. Flat BM_FlowTableLookup next to a
+// linearly growing BM_FlowTableLookupLinearScan is the fast path working.
+void BM_FlowTableLookupLinearScan(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  std::vector<pkt::FlowKey> keys;
+  std::vector<of::FlowEntry> table;
+  for (int i = 0; i < entries; ++i) {
+    const pkt::Packet p = make_packet(static_cast<std::uint32_t>(i), "x");
+    const pkt::FlowKey key = pkt::FlowKey::from_packet(p);
+    keys.push_back(key);
+    of::FlowEntry e;
+    e.match = of::Match::exact(1, key);
+    e.actions = of::output_to(2);
+    table.push_back(e);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const pkt::FlowKey& key = keys[i % keys.size()];
+    const of::FlowEntry* hit = nullptr;
+    for (const of::FlowEntry& e : table) {
+      if (e.match.matches(1, key)) {
+        hit = &e;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(hit);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowTableLookupLinearScan)->Arg(100)->Arg(1000)->Arg(10000);
+
+// M1c: lookup with wildcard entries shadow-checking the exact tier — the
+// fallback path must not regress when a few wildcard rules coexist.
+void BM_FlowTableLookupWithWildcards(benchmark::State& state) {
+  of::FlowTable table;
+  const int entries = static_cast<int>(state.range(0));
+  std::vector<pkt::FlowKey> keys;
+  for (int i = 0; i < entries; ++i) {
+    const pkt::FlowKey key = pkt::FlowKey::from_packet(make_packet(static_cast<std::uint32_t>(i), "x"));
+    keys.push_back(key);
+    of::FlowEntry e;
+    e.match = of::Match::exact(1, key);
+    e.actions = of::output_to(2);
+    table.add(e, 0);
+  }
+  // A handful of low-priority monitoring-style wildcard rules.
+  for (std::uint16_t p = 1; p <= 8; ++p) {
+    of::FlowEntry w;
+    w.match = of::Match().tp_dst(p);
+    w.priority = p;  // below the exact entries' default priority
+    w.actions = of::output_to(3);
+    table.add(w, 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(1, keys[i % keys.size()], 100, 1));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowTableLookupWithWildcards)->Arg(100)->Arg(1000)->Arg(10000);
 
 // M2: Aho-Corasick scan throughput over the default IDS rule set.
 void BM_AhoCorasickScan(benchmark::State& state) {

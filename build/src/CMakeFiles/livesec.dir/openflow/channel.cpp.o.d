@@ -142,11 +142,13 @@ src/CMakeFiles/livesec.dir/openflow/channel.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/openflow/messages.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/openflow/flow_table.h /root/repo/src/openflow/action.h \
- /root/repo/src/common/mac_address.h /root/repo/src/openflow/match.h \
- /root/repo/src/common/ip_address.h /root/repo/src/packet/flow_key.h \
- /root/repo/src/common/hash.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /root/repo/src/packet/buffer.h \
+ /root/repo/src/openflow/flow_table.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/hash.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /root/repo/src/openflow/action.h /root/repo/src/common/mac_address.h \
+ /root/repo/src/openflow/match.h /root/repo/src/common/ip_address.h \
+ /root/repo/src/packet/flow_key.h /root/repo/src/packet/buffer.h \
  /root/repo/src/packet/packet.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

@@ -102,7 +102,9 @@ src/CMakeFiles/livesec.dir/openflow/flow_table.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/string \
@@ -138,14 +140,14 @@ src/CMakeFiles/livesec.dir/openflow/flow_table.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/types.h \
- /root/repo/src/openflow/action.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/hash.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /root/repo/src/common/types.h /root/repo/src/openflow/action.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/common/mac_address.h /root/repo/src/openflow/match.h \
  /root/repo/src/common/ip_address.h /root/repo/src/packet/flow_key.h \
- /root/repo/src/common/hash.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /root/repo/src/packet/buffer.h \
- /root/repo/src/packet/packet.h /usr/include/c++/12/memory \
+ /root/repo/src/packet/buffer.h /root/repo/src/packet/packet.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

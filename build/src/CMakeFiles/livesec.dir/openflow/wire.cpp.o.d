@@ -142,12 +142,13 @@ src/CMakeFiles/livesec.dir/openflow/wire.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/hash.h \
  /root/repo/src/openflow/action.h /root/repo/src/common/mac_address.h \
  /root/repo/src/openflow/match.h /root/repo/src/common/ip_address.h \
- /root/repo/src/packet/flow_key.h /root/repo/src/common/hash.h \
- /root/repo/src/packet/buffer.h /root/repo/src/packet/packet.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/packet/flow_key.h /root/repo/src/packet/buffer.h \
+ /root/repo/src/packet/packet.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

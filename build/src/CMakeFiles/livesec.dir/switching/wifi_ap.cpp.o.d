@@ -1,8 +1,7 @@
 src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o: \
  /root/repo/src/switching/wifi_ap.cpp /usr/include/stdc-predef.h \
- /root/repo/src/switching/wifi_ap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_algobase.h \
+ /root/repo/src/switching/wifi_ap.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/type_traits \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -14,38 +13,44 @@ src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/bits/allocator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
+ /usr/include/c++/12/bits/new_allocator.h /usr/include/c++/12/new \
+ /usr/include/c++/12/bits/exception.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
- /usr/include/c++/12/bits/cpp_type_traits.h \
- /usr/include/c++/12/ext/type_traits.h \
- /usr/include/c++/12/ext/numeric_traits.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
- /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/compare /usr/include/c++/12/concepts \
+ /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/memoryfwd.h \
+ /usr/include/c++/12/ext/alloc_traits.h \
+ /usr/include/c++/12/bits/alloc_traits.h \
+ /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/bits/stl_iterator_base_types.h \
  /usr/include/c++/12/bits/iterator_concepts.h \
- /usr/include/c++/12/bits/ptr_traits.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/bits/ptr_traits.h \
  /usr/include/c++/12/bits/ranges_cmp.h \
  /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
  /usr/include/c++/12/bits/concept_check.h \
  /usr/include/c++/12/debug/assertions.h \
- /usr/include/c++/12/bits/stl_iterator.h /usr/include/c++/12/new \
- /usr/include/c++/12/bits/exception.h \
- /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/cpp_type_traits.h \
+ /usr/include/c++/12/ext/type_traits.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/compare /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/backward/binders.h \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/hash_bytes.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/stl_iterator.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/allocator.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
- /usr/include/c++/12/bits/new_allocator.h \
- /usr/include/c++/12/bits/memoryfwd.h \
- /usr/include/c++/12/bits/stl_function.h \
- /usr/include/c++/12/backward/binders.h \
- /usr/include/c++/12/ext/alloc_traits.h \
- /usr/include/c++/12/bits/alloc_traits.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_set.h /usr/include/c++/12/initializer_list \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/unordered_set.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/switching/openflow_switch.h /usr/include/c++/12/cstdint \
@@ -59,8 +64,8 @@ src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/floatn.h \
@@ -84,8 +89,6 @@ src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
- /usr/include/c++/12/bits/functional_hash.h \
- /usr/include/c++/12/bits/hash_bytes.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
@@ -126,10 +129,7 @@ src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/openflow/channel.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
@@ -146,11 +146,13 @@ src/CMakeFiles/livesec.dir/switching/wifi_ap.cpp.o: \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/common/types.h /root/repo/src/openflow/messages.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/openflow/flow_table.h /root/repo/src/openflow/action.h \
- /root/repo/src/common/mac_address.h /root/repo/src/openflow/match.h \
- /root/repo/src/common/ip_address.h /root/repo/src/packet/flow_key.h \
- /root/repo/src/common/hash.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /root/repo/src/packet/buffer.h \
+ /root/repo/src/openflow/flow_table.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/hash.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /root/repo/src/openflow/action.h /root/repo/src/common/mac_address.h \
+ /root/repo/src/openflow/match.h /root/repo/src/common/ip_address.h \
+ /root/repo/src/packet/flow_key.h /root/repo/src/packet/buffer.h \
  /root/repo/src/packet/packet.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

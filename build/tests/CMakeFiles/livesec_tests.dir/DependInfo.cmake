@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/livesec_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_common.cpp.o.d"
   "/root/repo/tests/test_controller_edge.cpp" "tests/CMakeFiles/livesec_tests.dir/test_controller_edge.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_controller_edge.cpp.o.d"
+  "/root/repo/tests/test_controller_state.cpp" "tests/CMakeFiles/livesec_tests.dir/test_controller_state.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_controller_state.cpp.o.d"
   "/root/repo/tests/test_controller_units.cpp" "tests/CMakeFiles/livesec_tests.dir/test_controller_units.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_controller_units.cpp.o.d"
   "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/livesec_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_extensions.cpp.o.d"
   "/root/repo/tests/test_firewall.cpp" "tests/CMakeFiles/livesec_tests.dir/test_firewall.cpp.o" "gcc" "tests/CMakeFiles/livesec_tests.dir/test_firewall.cpp.o.d"

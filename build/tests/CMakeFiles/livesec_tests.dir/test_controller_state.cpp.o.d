@@ -1,5 +1,5 @@
-tests/CMakeFiles/livesec_tests.dir/test_openflow.cpp.o: \
- /root/repo/tests/test_openflow.cpp /usr/include/stdc-predef.h \
+tests/CMakeFiles/livesec_tests.dir/test_controller_state.cpp.o: \
+ /root/repo/tests/test_controller_state.cpp /usr/include/stdc-predef.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
@@ -293,14 +293,37 @@ tests/CMakeFiles/livesec_tests.dir/test_openflow.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/openflow/channel.h /root/repo/src/common/types.h \
- /root/repo/src/openflow/messages.h /root/repo/src/openflow/flow_table.h \
+ /root/repo/src/controller/controller.h \
+ /root/repo/src/controller/certification.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/controller/dhcp_pool.h /root/repo/src/common/ip_address.h \
+ /root/repo/src/common/mac_address.h /root/repo/src/common/types.h \
+ /root/repo/src/controller/load_balancer.h \
+ /root/repo/src/controller/policy.h /root/repo/src/packet/flow_key.h \
  /root/repo/src/common/hash.h /usr/include/c++/12/span \
- /root/repo/src/openflow/action.h /root/repo/src/common/mac_address.h \
- /root/repo/src/openflow/match.h /root/repo/src/common/ip_address.h \
- /root/repo/src/packet/flow_key.h /root/repo/src/packet/buffer.h \
- /root/repo/src/packet/packet.h /root/repo/src/packet/headers.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /root/repo/src/packet/buffer.h /root/repo/src/packet/packet.h \
+ /root/repo/src/packet/headers.h /root/repo/src/services/message.h \
+ /root/repo/src/controller/service_registry.h \
+ /root/repo/src/controller/routing_table.h \
+ /root/repo/src/monitor/event_store.h /root/repo/src/monitor/event.h \
+ /root/repo/src/monitor/monitoring.h \
+ /root/repo/src/services/l7/l7_classifier.h \
+ /root/repo/src/openflow/channel.h /root/repo/src/openflow/messages.h \
+ /root/repo/src/openflow/flow_table.h /root/repo/src/openflow/action.h \
+ /root/repo/src/openflow/match.h /root/repo/src/topology/topology_graph.h \
+ /root/repo/src/topology/link_table.h /root/repo/src/net/network.h \
+ /root/repo/src/net/host.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h
+ /root/repo/src/sim/node.h /root/repo/src/services/service_element.h \
+ /root/repo/src/services/firewall/firewall_engine.h \
+ /root/repo/src/services/ids/ids_engine.h \
+ /root/repo/src/services/ids/aho_corasick.h \
+ /root/repo/src/services/ids/signature.h \
+ /root/repo/src/services/scanner/virus_scanner.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/switching/ethernet_switch.h \
+ /root/repo/src/switching/openflow_switch.h \
+ /root/repo/src/switching/spanning_tree.h \
+ /root/repo/src/switching/wifi_ap.h /root/repo/src/topology/lldp.h

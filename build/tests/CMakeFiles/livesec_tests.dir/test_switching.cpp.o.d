@@ -295,10 +295,10 @@ tests/CMakeFiles/livesec_tests.dir/test_switching.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/openflow/channel.h /root/repo/src/common/types.h \
  /root/repo/src/openflow/messages.h /root/repo/src/openflow/flow_table.h \
+ /root/repo/src/common/hash.h /usr/include/c++/12/span \
  /root/repo/src/openflow/action.h /root/repo/src/common/mac_address.h \
  /root/repo/src/openflow/match.h /root/repo/src/common/ip_address.h \
- /root/repo/src/packet/flow_key.h /root/repo/src/common/hash.h \
- /usr/include/c++/12/span /root/repo/src/packet/buffer.h \
+ /root/repo/src/packet/flow_key.h /root/repo/src/packet/buffer.h \
  /root/repo/src/packet/packet.h /root/repo/src/packet/headers.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
@@ -307,4 +307,5 @@ tests/CMakeFiles/livesec_tests.dir/test_switching.cpp.o: \
  /root/repo/src/switching/ethernet_switch.h /root/repo/src/sim/node.h \
  /root/repo/src/switching/openflow_switch.h \
  /root/repo/src/switching/spanning_tree.h \
- /root/repo/src/switching/wifi_ap.h
+ /root/repo/src/switching/wifi_ap.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h

@@ -64,6 +64,21 @@ void Controller::handle_switch_disconnected(DatapathId dpid) {
   for (const HostLocation& host : routing_.remove_switch(dpid)) {
     raise(mon::EventType::kHostLeave, host.mac.to_string(), "switch disconnected", dpid);
   }
+  // Tear down every flow with a hop (ingress, egress or SE steering entry)
+  // on the dead switch: its FlowRemoved can never arrive, so without this
+  // the FlowRecord and its index entries leak forever, and entries on
+  // surviving switches keep forwarding into a black hole.
+  std::vector<pkt::FlowKey> affected;
+  for (const auto& [key, record] : flows_) {
+    for (const auto& [entry_dpid, match] : record.installed) {
+      if (entry_dpid == dpid) {
+        affected.push_back(key);
+        break;
+      }
+    }
+  }
+  for (const pkt::FlowKey& key : affected) teardown_flow(key);
+  switch_loads_.erase(dpid);
   ls_ports_.erase(dpid);
 }
 
@@ -103,7 +118,12 @@ void Controller::run_discovery() {
 }
 
 void Controller::send_lldp_probes(DatapathId dpid) {
-  const SwitchState& state = switches_.at(dpid);
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) {
+    ++stats_.unknown_dpid_drops;
+    return;
+  }
+  const SwitchState& state = it->second;
   if (state.channel == nullptr) return;
   for (PortId port = 0; port < state.num_ports; ++port) {
     topo::LldpInfo info;
@@ -121,9 +141,11 @@ void Controller::handle_lldp(DatapathId dpid, PortId in_port, const pkt::Packet&
   const auto info = topo::LldpInfo::from_packet(packet);
   if (!info || info->chassis_id == dpid) return;
   // The probe traversed the legacy fabric: the arrival port is this switch's
-  // Legacy-Switching uplink, and the emitting port is the peer's.
-  ls_ports_.emplace(dpid, in_port);
-  ls_ports_.emplace(info->chassis_id, info->port_id);
+  // Legacy-Switching uplink, and the emitting port is the peer's. A switch
+  // re-cabled to a different uplink port must overwrite the stale record, or
+  // two-hop routing keeps steering into the dead port.
+  ls_ports_.insert_or_assign(dpid, in_port);
+  ls_ports_.insert_or_assign(info->chassis_id, info->port_id);
 
   const topo::AsLink link{info->chassis_id, info->port_id, dpid, in_port};
   if (!topology_.links().find(link.src, link.dst)) {
@@ -138,6 +160,13 @@ void Controller::handle_lldp(DatapathId dpid, PortId in_port, const pkt::Packet&
 
 void Controller::on_packet_in(DatapathId dpid, const of::PacketIn& pin) {
   ++stats_.packet_ins;
+  if (!switches_.contains(dpid)) {
+    // Packet-in from a dpid that never attached a channel (misbehaving or
+    // half-configured datapath): every downstream handler would either learn
+    // an unroutable location or install state it can never clean up.
+    ++stats_.unknown_dpid_drops;
+    return;
+  }
   const pkt::Packet& packet = *pin.packet;
 
   if (packet.eth.ether_type == static_cast<std::uint16_t>(pkt::EtherType::kLldp)) {
@@ -317,6 +346,14 @@ void Controller::handle_daemon_event(const SeRecord& se, const svc::EventMessage
 // --- ARP: location discovery + directory proxy -----------------------------------
 
 void Controller::handle_arp(DatapathId dpid, const of::PacketIn& pin) {
+  const auto sw_it = switches_.find(dpid);
+  if (sw_it == switches_.end()) {
+    // Packet-in from a dpid that never attached a channel (misbehaving or
+    // half-configured datapath): ignore instead of throwing, and don't learn
+    // a location the controller could never route to.
+    ++stats_.unknown_dpid_drops;
+    return;
+  }
   const pkt::Packet& packet = *pin.packet;
   const pkt::ArpHeader& arp = *packet.arp;
 
@@ -355,7 +392,7 @@ void Controller::handle_arp(DatapathId dpid, const of::PacketIn& pin) {
     raise(mon::EventType::kHostJoin, arp.sender_mac.to_string(), arp.sender_ip.to_string(), dpid);
   }
 
-  const SwitchState& state = switches_.at(dpid);
+  const SwitchState& state = sw_it->second;
   if (state.channel == nullptr) return;
 
   if (arp.op == pkt::ArpOp::kRequest) {

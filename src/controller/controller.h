@@ -145,6 +145,8 @@ class Controller : public of::ControllerEndpoint {
     std::uint64_t cert_rejections = 0;
     std::uint64_t arp_proxied = 0;
     std::uint64_t lldp_links = 0;
+    /// Messages ignored because their dpid never attached a channel.
+    std::uint64_t unknown_dpid_drops = 0;
   };
   const Stats& stats() const { return stats_; }
 

@@ -12,59 +12,142 @@ std::string FlowEntry::to_string() const {
   return out.str();
 }
 
+bool FlowTable::ordered_before(const Slot& a, const Slot& b) const {
+  if (a.entry.priority != b.entry.priority) return a.entry.priority > b.entry.priority;
+  const int sa = a.entry.match.specificity();
+  const int sb = b.entry.match.specificity();
+  if (sa != sb) return sa > sb;
+  return a.seq < b.seq;
+}
+
+SimTime FlowTable::next_deadline(const FlowEntry& e) {
+  SimTime deadline = 0;
+  if (e.hard_timeout > 0) deadline = e.installed_at + e.hard_timeout;
+  if (e.idle_timeout > 0) {
+    const SimTime idle = e.last_hit + e.idle_timeout;
+    deadline = deadline == 0 ? idle : std::min(deadline, idle);
+  }
+  return deadline;
+}
+
+void FlowTable::file_in_wheel(std::uint64_t id, Slot& slot) {
+  ++slot.wheel_epoch;  // invalidate any record filed for the previous state
+  const SimTime deadline = next_deadline(slot.entry);
+  if (deadline == 0) return;  // no timeouts: never expires
+  wheel_[deadline].emplace_back(id, slot.wheel_epoch);
+}
+
 void FlowTable::add(FlowEntry entry, SimTime now) {
   entry.installed_at = now;
   entry.last_hit = now;
-  // OFPFC_ADD: identical (match, priority) replaces in place.
-  for (auto& existing : entries_) {
-    if (existing.priority == entry.priority && existing.match == entry.match) {
-      existing = entry;
+
+  if (entry.match.is_exact()) {
+    const ExactKey key{entry.match.in_port_value(), entry.match.flow_key()};
+    std::vector<std::uint64_t>& ids = exact_index_[key];
+    // OFPFC_ADD: identical (match, priority) replaces in place.
+    for (std::uint64_t id : ids) {
+      Slot& slot = slots_.at(id);
+      if (slot.entry.priority == entry.priority) {
+        slot.entry = std::move(entry);
+        file_in_wheel(id, slot);
+        return;
+      }
+    }
+    const std::uint64_t id = next_id_++;
+    // Keep ids ordered by priority desc so front() is the lookup winner
+    // (priorities are distinct here: equal priority replaced above).
+    auto pos = ids.begin();
+    while (pos != ids.end() && slots_.at(*pos).entry.priority > entry.priority) ++pos;
+    ids.insert(pos, id);
+    Slot slot{std::move(entry), id, /*exact=*/true, 0};
+    file_in_wheel(id, slot);
+    slots_.emplace(id, std::move(slot));
+    return;
+  }
+
+  for (std::uint64_t id : wild_order_) {
+    Slot& slot = slots_.at(id);
+    if (slot.entry.priority == entry.priority && slot.entry.match == entry.match) {
+      slot.entry = std::move(entry);
+      file_in_wheel(id, slot);
       return;
     }
   }
-  // Insert keeping order: priority desc, specificity desc, install order asc.
-  const std::uint64_t seq = install_seq_++;
-  auto pos = entries_.begin();
-  auto seq_pos = seqs_.begin();
-  for (; pos != entries_.end(); ++pos, ++seq_pos) {
-    if (pos->priority != entry.priority) {
-      if (pos->priority < entry.priority) break;
-      continue;
-    }
-    const int a = entry.match.specificity();
-    const int b = pos->match.specificity();
-    if (b < a) break;
-  }
-  seqs_.insert(seq_pos, seq);
-  entries_.insert(pos, std::move(entry));
+  const std::uint64_t id = next_id_++;
+  Slot slot{std::move(entry), id, /*exact=*/false, 0};
+  // Insert keeping order: priority desc, specificity desc, install order asc
+  // (the new entry is youngest, so it goes after equal (priority, spec)).
+  auto pos = wild_order_.begin();
+  while (pos != wild_order_.end() && ordered_before(slots_.at(*pos), slot)) ++pos;
+  wild_order_.insert(pos, id);
+  file_in_wheel(id, slot);
+  slots_.emplace(id, std::move(slot));
 }
 
 std::size_t FlowTable::modify_strict(const Match& match, std::uint16_t priority,
                                      const ActionList& actions) {
   std::size_t updated = 0;
-  for (auto& e : entries_) {
-    if (e.priority == priority && e.match == match) {
-      e.actions = actions;
+  if (match.is_exact()) {
+    const auto it = exact_index_.find(ExactKey{match.in_port_value(), match.flow_key()});
+    if (it == exact_index_.end()) return 0;
+    for (std::uint64_t id : it->second) {
+      Slot& slot = slots_.at(id);
+      if (slot.entry.priority == priority) {
+        slot.entry.actions = actions;
+        ++updated;
+      }
+    }
+    return updated;
+  }
+  for (std::uint64_t id : wild_order_) {
+    Slot& slot = slots_.at(id);
+    if (slot.entry.priority == priority && slot.entry.match == match) {
+      slot.entry.actions = actions;
       ++updated;
     }
   }
   return updated;
 }
 
+void FlowTable::detach(std::uint64_t id, const Slot& slot) {
+  if (slot.exact) {
+    const ExactKey key{slot.entry.match.in_port_value(), slot.entry.match.flow_key()};
+    const auto it = exact_index_.find(key);
+    if (it != exact_index_.end()) {
+      std::erase(it->second, id);
+      if (it->second.empty()) exact_index_.erase(it);
+    }
+  } else {
+    std::erase(wild_order_, id);
+  }
+  // Any pending wheel record becomes a tombstone: its id no longer resolves.
+}
+
+void FlowTable::remove_slot(std::uint64_t id, RemovalReason reason) {
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  if (on_removal_) on_removal_(it->second.entry, reason);
+  detach(id, it->second);
+  slots_.erase(it);
+}
+
 std::size_t FlowTable::remove_strict(const Match& match, std::uint16_t priority, SimTime now) {
   (void)now;
-  std::size_t removed = 0;
-  for (std::size_t i = 0; i < entries_.size();) {
-    if (entries_[i].priority == priority && entries_[i].match == match) {
-      if (on_removal_) on_removal_(entries_[i], RemovalReason::kDelete);
-      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
-      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
-      ++removed;
-    } else {
-      ++i;
+  std::vector<std::uint64_t> victims;
+  if (match.is_exact()) {
+    const auto it = exact_index_.find(ExactKey{match.in_port_value(), match.flow_key()});
+    if (it == exact_index_.end()) return 0;
+    for (std::uint64_t id : it->second) {
+      if (slots_.at(id).entry.priority == priority) victims.push_back(id);
+    }
+  } else {
+    for (std::uint64_t id : wild_order_) {
+      const Slot& slot = slots_.at(id);
+      if (slot.entry.priority == priority && slot.entry.match == match) victims.push_back(id);
     }
   }
-  return removed;
+  for (std::uint64_t id : victims) remove_slot(id, RemovalReason::kDelete);
+  return victims.size();
 }
 
 bool FlowTable::covers(const Match& general, const Match& specific) {
@@ -91,18 +174,23 @@ bool FlowTable::covers(const Match& general, const Match& specific) {
 
 std::size_t FlowTable::remove_matching(const Match& match, SimTime now) {
   (void)now;
-  std::size_t removed = 0;
-  for (std::size_t i = 0; i < entries_.size();) {
-    if (covers(match, entries_[i].match)) {
-      if (on_removal_) on_removal_(entries_[i], RemovalReason::kDelete);
-      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
-      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
-      ++removed;
-    } else {
-      ++i;
+  std::vector<std::uint64_t> victims;
+  if (match.is_exact()) {
+    // A fully-exact filter covers only identical exact entries (any priority).
+    const auto it = exact_index_.find(ExactKey{match.in_port_value(), match.flow_key()});
+    if (it == exact_index_.end()) return 0;
+    victims = it->second;
+  } else {
+    for (const auto& [id, slot] : slots_) {
+      if (covers(match, slot.entry.match)) victims.push_back(id);
     }
+    // Fire removal callbacks in deterministic table order.
+    std::sort(victims.begin(), victims.end(), [this](std::uint64_t a, std::uint64_t b) {
+      return ordered_before(slots_.at(a), slots_.at(b));
+    });
   }
-  return removed;
+  for (std::uint64_t id : victims) remove_slot(id, RemovalReason::kDelete);
+  return victims.size();
 }
 
 bool FlowTable::expired(const FlowEntry& e, SimTime now) const {
@@ -111,54 +199,117 @@ bool FlowTable::expired(const FlowEntry& e, SimTime now) const {
   return false;
 }
 
-const FlowEntry* FlowTable::lookup(PortId in_port, const pkt::FlowKey& key,
-                                   std::size_t packet_bytes, SimTime now) {
-  ++lookups_;
-  expire(now);
-  for (auto& e : entries_) {
-    if (e.match.matches(in_port, key)) {
-      ++hits_;
-      ++e.packet_count;
-      e.byte_count += packet_bytes;
-      e.last_hit = now;
-      return &e;
-    }
-  }
-  return nullptr;
-}
-
-const FlowEntry* FlowTable::peek(PortId in_port, const pkt::FlowKey& key, SimTime now) const {
-  for (const auto& e : entries_) {
-    if (expired(e, now)) continue;
-    if (e.match.matches(in_port, key)) return &e;
-  }
-  return nullptr;
-}
-
-std::size_t FlowTable::expire(SimTime now) {
+std::size_t FlowTable::advance(SimTime now) {
   std::size_t removed = 0;
-  for (std::size_t i = 0; i < entries_.size();) {
-    if (expired(entries_[i], now)) {
-      if (on_removal_) {
-        const bool hard =
-            entries_[i].hard_timeout > 0 && now - entries_[i].installed_at >= entries_[i].hard_timeout;
-        on_removal_(entries_[i], hard ? RemovalReason::kHardTimeout : RemovalReason::kIdleTimeout);
+  while (!wheel_.empty() && wheel_.begin()->first <= now) {
+    const auto records = std::move(wheel_.begin()->second);
+    wheel_.erase(wheel_.begin());
+    for (const auto& [id, epoch] : records) {
+      const auto it = slots_.find(id);
+      if (it == slots_.end() || it->second.wheel_epoch != epoch) continue;  // stale record
+      Slot& slot = it->second;
+      if (!expired(slot.entry, now)) {
+        // Idle clock was refreshed by hits since filing: re-file at the new
+        // deadline (strictly in the future, since the entry is not expired).
+        file_in_wheel(id, slot);
+        continue;
       }
-      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
-      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+      const bool hard =
+          slot.entry.hard_timeout > 0 && now - slot.entry.installed_at >= slot.entry.hard_timeout;
+      remove_slot(id, hard ? RemovalReason::kHardTimeout : RemovalReason::kIdleTimeout);
       ++removed;
-    } else {
-      ++i;
     }
   }
   return removed;
 }
 
+const FlowEntry* FlowTable::lookup(PortId in_port, const pkt::FlowKey& key,
+                                   std::size_t packet_bytes, SimTime now) {
+  ++lookups_;
+  advance(now);
+
+  FlowEntry* exact_hit = nullptr;
+  const auto eit = exact_index_.find(ExactKey{in_port, key});
+  if (eit != exact_index_.end() && !eit->second.empty()) {
+    exact_hit = &slots_.at(eit->second.front()).entry;  // highest priority first
+  }
+
+  FlowEntry* winner = nullptr;
+  bool via_exact = false;
+  if (exact_hit != nullptr) {
+    // A fully-exact hit has maximal specificity, so it can only be shadowed
+    // by a strictly-higher-priority wildcard entry. The common case — no
+    // wildcard outranks it — resolves with one comparison against the
+    // wildcard tier's head (kept priority-sorted).
+    winner = exact_hit;
+    via_exact = true;
+    for (std::uint64_t id : wild_order_) {
+      FlowEntry& wild = slots_.at(id).entry;
+      if (wild.priority <= exact_hit->priority) break;
+      if (wild.match.matches(in_port, key)) {
+        winner = &wild;
+        via_exact = false;
+        break;
+      }
+    }
+  } else {
+    for (std::uint64_t id : wild_order_) {
+      FlowEntry& wild = slots_.at(id).entry;
+      if (wild.match.matches(in_port, key)) {
+        winner = &wild;
+        break;
+      }
+    }
+  }
+  if (winner == nullptr) return nullptr;
+  ++hits_;
+  if (via_exact) ++exact_hits_;
+  ++winner->packet_count;
+  winner->byte_count += packet_bytes;
+  winner->last_hit = now;
+  return winner;
+}
+
+const FlowEntry* FlowTable::peek(PortId in_port, const pkt::FlowKey& key, SimTime now) const {
+  const FlowEntry* best_exact = nullptr;
+  const auto eit = exact_index_.find(ExactKey{in_port, key});
+  if (eit != exact_index_.end()) {
+    for (std::uint64_t id : eit->second) {
+      const FlowEntry& entry = slots_.at(id).entry;
+      if (!expired(entry, now)) {
+        best_exact = &entry;  // ids are priority-sorted: first live one wins
+        break;
+      }
+    }
+  }
+  for (std::uint64_t id : wild_order_) {
+    const FlowEntry& wild = slots_.at(id).entry;
+    if (best_exact != nullptr && wild.priority <= best_exact->priority) break;
+    if (expired(wild, now)) continue;
+    if (wild.match.matches(in_port, key)) return &wild;
+  }
+  return best_exact;
+}
+
+std::size_t FlowTable::expire(SimTime now) { return advance(now); }
+
+std::vector<FlowEntry> FlowTable::entries() const {
+  std::vector<const Slot*> ordered;
+  ordered.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) ordered.push_back(&slot);
+  std::sort(ordered.begin(), ordered.end(),
+            [this](const Slot* a, const Slot* b) { return ordered_before(*a, *b); });
+  std::vector<FlowEntry> out;
+  out.reserve(ordered.size());
+  for (const Slot* slot : ordered) out.push_back(slot->entry);
+  return out;
+}
+
 std::string FlowTable::dump() const {
   std::ostringstream out;
-  out << "flow_table(" << entries_.size() << " entries, " << hits_ << "/" << lookups_
-      << " hits)\n";
-  for (const auto& e : entries_) out << "  " << e.to_string() << "\n";
+  out << "flow_table(" << slots_.size() << " entries [" << wild_order_.size() << " wildcard], "
+      << hits_ << "/" << lookups_ << " hits, " << exact_hits_ << " exact-tier)\n";
+  for (const FlowEntry& e : entries()) out << "  " << e.to_string() << "\n";
   return out.str();
 }
 

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 #include "openflow/action.h"
 #include "openflow/match.h"
@@ -37,9 +40,22 @@ struct FlowEntry {
 /// Reason codes reported when an entry is removed (OFPRR_*).
 enum class RemovalReason { kIdleTimeout, kHardTimeout, kDelete };
 
-/// Priority-ordered flow table with exact OpenFlow 1.0 semantics:
-/// highest priority wins; among equal priorities the most specific match
-/// wins; ties broken by install order (oldest first).
+/// Flow table with exact OpenFlow 1.0 semantics: highest priority wins;
+/// among equal priorities the most specific match wins; ties broken by
+/// install order (oldest first).
+///
+/// Internally two-tier, OvS-microflow-cache style:
+///  - an exact tier: hash index on (in_port, 9-tuple) serving fully-exact
+///    entries (everything the controller's path/drop installation emits) in
+///    O(1) regardless of table size;
+///  - a wildcard tier: the classic priority/specificity-ordered list,
+///    scanned only when the exact tier misses or a strictly-higher-priority
+///    wildcard entry could shadow the exact hit.
+/// Timeout eviction uses a deadline-bucketed timer wheel instead of a
+/// per-lookup full-table sweep, so expiry cost is proportional to the
+/// entries actually expiring, not to table size. Idle-timeout refreshes are
+/// lazy: a hit only bumps `last_hit`; the stale wheel record re-files itself
+/// when its bucket fires.
 class FlowTable {
  public:
   /// Called when an entry with `notify_on_removal` expires or is deleted.
@@ -61,7 +77,7 @@ class FlowTable {
   std::size_t remove_matching(const Match& match, SimTime now);
 
   /// Looks up the best entry for a packet; bumps counters on hit. Expired
-  /// entries are lazily evicted during lookup.
+  /// entries are lazily evicted during lookup (timer wheel, amortized O(1)).
   const FlowEntry* lookup(PortId in_port, const pkt::FlowKey& key, std::size_t packet_bytes,
                           SimTime now);
 
@@ -73,26 +89,86 @@ class FlowTable {
 
   void set_removal_callback(RemovalCallback cb) { on_removal_ = std::move(cb); }
 
-  std::size_t size() const { return entries_.size(); }
-  const std::vector<FlowEntry>& entries() const { return entries_; }
+  std::size_t size() const { return slots_.size(); }
+
+  /// Snapshot of all entries in table order (priority desc, specificity
+  /// desc, install order asc). Materialized on demand — diagnostics/stats
+  /// path, not per-packet.
+  std::vector<FlowEntry> entries() const;
+
+  /// Visits every entry (unordered) without materializing a snapshot.
+  template <typename F>
+  void for_each_entry(F&& fn) const {
+    for (const auto& [id, slot] : slots_) fn(slot.entry);
+  }
 
   std::uint64_t lookups() const { return lookups_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return lookups_ - hits_; }
+  /// Hits served by the O(1) exact tier (no wildcard scan involved).
+  std::uint64_t exact_hits() const { return exact_hits_; }
+  /// Hits resolved by scanning the wildcard tier.
+  std::uint64_t wildcard_hits() const { return hits_ - exact_hits_; }
+  /// Entries currently in the wildcard (linear-scan) tier.
+  std::size_t wildcard_size() const { return wild_order_.size(); }
 
   std::string dump() const;
 
  private:
+  /// Hash key of the exact tier: switch ingress port + the 9-tuple.
+  struct ExactKey {
+    PortId in_port = 0;
+    pkt::FlowKey key;
+    friend bool operator==(const ExactKey&, const ExactKey&) = default;
+  };
+  struct ExactKeyHash {
+    std::size_t operator()(const ExactKey& k) const noexcept {
+      return static_cast<std::size_t>(splitmix64(hash_combine(k.key.hash(), k.in_port)));
+    }
+  };
+
+  struct Slot {
+    FlowEntry entry;
+    std::uint64_t seq = 0;  // install order; stable across OFPFC_ADD replace
+    bool exact = false;
+    /// Epoch of this slot's live timer-wheel record; a fired record whose
+    /// epoch doesn't match is stale (entry was replaced) and is skipped.
+    std::uint32_t wheel_epoch = 0;
+  };
+
   bool expired(const FlowEntry& e, SimTime now) const;
   /// True when `general` covers every packet `specific` could match.
   static bool covers(const Match& general, const Match& specific);
+  /// Earliest time `e` could expire given its current clocks (0 = never).
+  static SimTime next_deadline(const FlowEntry& e);
+  /// (Re-)files the slot's timer-wheel record at its current deadline.
+  void file_in_wheel(std::uint64_t id, Slot& slot);
+  /// Fires every due wheel bucket: evicts entries expired as of `now`,
+  /// re-files entries whose idle clock was refreshed since filing.
+  std::size_t advance(SimTime now);
+  /// Unlinks a slot from its tier index (exact hash or wildcard order).
+  void detach(std::uint64_t id, const Slot& slot);
+  /// Removes one entry, firing the removal callback with `reason`.
+  void remove_slot(std::uint64_t id, RemovalReason reason);
+  /// Table-order comparison (priority desc, specificity desc, seq asc).
+  bool ordered_before(const Slot& a, const Slot& b) const;
 
-  std::vector<FlowEntry> entries_;  // kept sorted: priority desc, specificity desc, age asc
+  /// All live entries, keyed by a unique install id (node-stable).
+  std::unordered_map<std::uint64_t, Slot> slots_;
+  /// Exact tier: (in_port, 9-tuple) -> ids, sorted by priority desc. Almost
+  /// always one id; a second appears when e.g. a security drop (priority
+  /// 200) overlays a forwarding entry (priority 100) for the same flow.
+  std::unordered_map<ExactKey, std::vector<std::uint64_t>, ExactKeyHash> exact_index_;
+  /// Wildcard tier in table order (priority desc, specificity desc, seq asc).
+  std::vector<std::uint64_t> wild_order_;
+  /// Timer wheel: deadline -> (id, epoch) records filed at that deadline.
+  std::map<SimTime, std::vector<std::pair<std::uint64_t, std::uint32_t>>> wheel_;
+
   RemovalCallback on_removal_;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
-  std::uint64_t install_seq_ = 0;
-  std::vector<std::uint64_t> seqs_;  // parallel to entries_, for stable age ordering
+  std::uint64_t exact_hits_ = 0;
+  std::uint64_t next_id_ = 0;
 };
 
 }  // namespace livesec::of

@@ -117,6 +117,20 @@ bool Match::matches(PortId in_port, const pkt::FlowKey& key) const {
   return true;
 }
 
+pkt::FlowKey Match::flow_key() const {
+  pkt::FlowKey key;
+  key.vlan_id = dl_vlan_;
+  key.dl_src = dl_src_;
+  key.dl_dst = dl_dst_;
+  key.dl_type = dl_type_;
+  key.nw_src = nw_src_;
+  key.nw_dst = nw_dst_;
+  key.nw_proto = nw_proto_;
+  key.tp_src = tp_src_;
+  key.tp_dst = tp_dst_;
+  return key;
+}
+
 int Match::specificity() const {
   return 10 - std::popcount(wildcards_ & static_cast<std::uint32_t>(Wildcard::kAll));
 }

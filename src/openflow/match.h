@@ -63,6 +63,17 @@ class Match {
   /// True when no field is constrained.
   bool is_wildcard_all() const { return wildcards_ == static_cast<std::uint32_t>(Wildcard::kAll); }
 
+  /// True when every field is constrained: the match accepts exactly one
+  /// (in_port, 9-tuple) combination. Fully-exact entries are what the
+  /// controller's `install_path`/`install_drop` emit, and they are served
+  /// from the flow table's O(1) hash tier.
+  bool is_exact() const { return wildcards_ == 0; }
+
+  /// The 9-tuple this match constrains. Meaningful only when `is_exact()`;
+  /// together with `in_port_value()` it reconstructs the hash-tier key, and
+  /// `FlowKey::hash()` makes it hash-compatible with packet lookups.
+  pkt::FlowKey flow_key() const;
+
   /// Number of exact-match (non-wildcarded) fields; used to order overlapping
   /// entries of equal priority (more specific wins).
   int specificity() const;

@@ -75,8 +75,7 @@ void OpenFlowSwitch::process(PortId in_port, pkt::PacketPtr packet) {
     punt_to_controller(in_port, std::move(packet));
   } else {
     ++miss_drops_;
-    log_debug(name()) << "LS-miss in_port=" << in_port << " "
-                      << pkt::FlowKey::from_packet(*packet).to_string();
+    log_debug(name()) << "LS-miss in_port=" << in_port << " " << key.to_string();
   }
 }
 
@@ -174,9 +173,10 @@ void OpenFlowSwitch::handle_controller_message(const of::Message& message) {
     of::StatsReply reply;
     reply.table_lookups = table_.lookups();
     reply.table_hits = table_.hits();
-    for (const auto& e : table_.entries()) {
+    reply.flows.reserve(table_.size());
+    table_.for_each_entry([&reply](const of::FlowEntry& e) {
       reply.flows.push_back(of::FlowStats{e.match, e.priority, e.packet_count, e.byte_count});
-    }
+    });
     if (channel_) channel_->send_to_controller(std::move(reply));
   }
 }

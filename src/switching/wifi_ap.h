@@ -1,7 +1,7 @@
 // OF Wi-Fi access point (Pantou on OpenWrt in the paper's deployment).
 #pragma once
 
-#include <set>
+#include <unordered_set>
 
 #include "switching/openflow_switch.h"
 
@@ -44,7 +44,8 @@ class WifiAccessPoint : public OpenFlowSwitch {
 
   WifiConfig config_;
   SimTime radio_busy_until_ = 0;
-  std::set<PortId> station_ports_;
+  // Hash set: is_station_port sits on the per-frame radio path.
+  std::unordered_set<PortId> station_ports_;
 };
 
 }  // namespace livesec::sw

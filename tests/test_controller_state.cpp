@@ -1,0 +1,200 @@
+// Regression tests for controller state management: LS-uplink re-cabling,
+// packet-ins from unknown datapaths, and disconnect cleanup. These pin the
+// stale-state bugs fixed alongside the flow-table fast path.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "controller/controller.h"
+#include "net/network.h"
+#include "openflow/channel.h"
+#include "packet/packet.h"
+#include "sim/simulator.h"
+#include "topology/lldp.h"
+
+namespace livesec {
+namespace {
+
+/// Switch-side channel endpoint that records every FlowMod the controller
+/// pushes, so tests can inspect the installed paths without a full datapath.
+class RecordingSwitch : public of::SwitchEndpoint {
+ public:
+  explicit RecordingSwitch(DatapathId dpid) : dpid_(dpid) {}
+  DatapathId datapath_id() const override { return dpid_; }
+  void handle_controller_message(const of::Message& m) override {
+    if (const auto* fm = std::get_if<of::FlowMod>(&m)) flow_mods.push_back(*fm);
+  }
+  std::vector<of::FlowMod> flow_mods;
+
+ private:
+  DatapathId dpid_;
+};
+
+std::optional<PortId> output_port(const of::ActionList& actions) {
+  for (const auto& action : actions) {
+    if (const auto* out = std::get_if<of::ActionOutput>(&action)) return out->port;
+  }
+  return std::nullopt;
+}
+
+pkt::PacketPtr gratuitous_arp(MacAddress mac, Ipv4Address ip) {
+  return pkt::PacketBuilder()
+      .eth(mac, MacAddress::from_uint64(0xFFFFFFFFFFFFull))
+      .arp(pkt::ArpOp::kRequest, mac, ip, MacAddress{}, ip)
+      .finalize();
+}
+
+/// Two AS switches wired straight to a controller through recording
+/// channels; no legacy fabric, so tests drive LLDP and ARP by hand.
+struct TwoSwitchHarness {
+  sim::Simulator sim;
+  ctrl::Controller controller{sim};
+  RecordingSwitch sw1{1};
+  RecordingSwitch sw2{2};
+  of::SecureChannel ch1{sim, sw1, controller, 10 * kMicrosecond};
+  of::SecureChannel ch2{sim, sw2, controller, 10 * kMicrosecond};
+
+  MacAddress alice_mac = MacAddress::from_uint64(0xA11CE);
+  MacAddress bob_mac = MacAddress::from_uint64(0xB0B);
+  Ipv4Address alice_ip{10, 0, 0, 1};
+  Ipv4Address bob_ip{10, 0, 0, 2};
+
+  TwoSwitchHarness() {
+    controller.attach_channel(1, ch1);
+    controller.attach_channel(2, ch2);
+    ch1.connect(of::FeaturesReply{1, 8, "sw1"});
+    ch2.connect(of::FeaturesReply{2, 8, "sw2"});
+    sim.run();
+  }
+
+  void packet_in(of::SecureChannel& ch, PortId in_port, pkt::PacketPtr packet) {
+    of::PacketIn pin;
+    pin.in_port = in_port;
+    pin.packet = std::move(packet);
+    ch.send_to_controller(std::move(pin));
+    sim.run();
+  }
+
+  /// Simulates an LLDP probe from `peer`:`peer_port` arriving on `in_port`.
+  void lldp(of::SecureChannel& ch, PortId in_port, DatapathId peer, PortId peer_port) {
+    topo::LldpInfo info;
+    info.chassis_id = peer;
+    info.port_id = peer_port;
+    packet_in(ch, in_port, pkt::finalize(info.to_packet()));
+  }
+
+  void learn_hosts() {
+    packet_in(ch1, 0, gratuitous_arp(alice_mac, alice_ip));
+    packet_in(ch2, 0, gratuitous_arp(bob_mac, bob_ip));
+  }
+
+  void start_flow(std::uint16_t tp_src) {
+    auto p = pkt::PacketBuilder()
+                 .eth(alice_mac, bob_mac)
+                 .ipv4(alice_ip, bob_ip, pkt::IpProto::kUdp)
+                 .udp(tp_src, 80)
+                 .finalize();
+    packet_in(ch1, 0, std::move(p));
+  }
+
+  /// First kAdd FlowMod recorded on `sw` (the ingress/arrival entry).
+  const of::FlowMod* first_add(const RecordingSwitch& sw) const {
+    for (const auto& fm : sw.flow_mods) {
+      if (fm.command == of::FlowModCommand::kAdd) return &fm;
+    }
+    return nullptr;
+  }
+};
+
+// A switch re-cabled to a different LS-uplink port must overwrite the stale
+// ls_ports_ record (bug: emplace kept the old port and routing forwarded new
+// flows into the dead uplink forever).
+TEST(ControllerState, LldpRecableUpdatesUplinkAndReroutesNewFlows) {
+  TwoSwitchHarness net;
+  net.lldp(net.ch1, 3, 2, 4);  // probe from sw2 port 4 arrives on sw1 port 3
+  ASSERT_EQ(net.controller.ls_port(1), std::optional<PortId>{3});
+  ASSERT_EQ(net.controller.ls_port(2), std::optional<PortId>{4});
+  net.learn_hosts();
+
+  net.start_flow(1000);
+  const of::FlowMod* ingress = net.first_add(net.sw1);
+  ASSERT_NE(ingress, nullptr);
+  EXPECT_EQ(output_port(ingress->entry.actions), std::optional<PortId>{3});
+
+  // Re-cable both uplinks; the next discovery round reports the new ports.
+  net.sw1.flow_mods.clear();
+  net.sw2.flow_mods.clear();
+  net.lldp(net.ch1, 7, 2, 5);
+  EXPECT_EQ(net.controller.ls_port(1), std::optional<PortId>{7});
+  EXPECT_EQ(net.controller.ls_port(2), std::optional<PortId>{5});
+
+  // A new flow must route over the new uplink end to end: ingress outputs
+  // to sw1's new LS port and the far-side entry matches arrival on sw2's.
+  net.start_flow(2000);
+  const of::FlowMod* ingress2 = net.first_add(net.sw1);
+  ASSERT_NE(ingress2, nullptr);
+  EXPECT_EQ(output_port(ingress2->entry.actions), std::optional<PortId>{7});
+  const of::FlowMod* egress = net.first_add(net.sw2);
+  ASSERT_NE(egress, nullptr);
+  EXPECT_TRUE(egress->entry.match.matches(
+      5, pkt::FlowKey::from_packet(
+             pkt::PacketBuilder()
+                 .eth(net.alice_mac, net.bob_mac)
+                 .ipv4(net.alice_ip, net.bob_ip, pkt::IpProto::kUdp)
+                 .udp(2000, 80)
+                 .build())));
+}
+
+// Packet-ins carrying a dpid that never attached a channel must be counted
+// and dropped, not crash the controller (bug: switches_.at threw).
+TEST(ControllerState, UnknownDpidPacketInIsIgnored) {
+  sim::Simulator sim;
+  ctrl::Controller controller(sim);
+  of::PacketIn pin;
+  pin.in_port = 0;
+  pin.packet = gratuitous_arp(MacAddress::from_uint64(0xDEAD), Ipv4Address(10, 9, 9, 9));
+  EXPECT_NO_THROW(controller.handle_switch_message(99, of::Message{pin}));
+  EXPECT_EQ(controller.stats().unknown_dpid_drops, 1u);
+  // The unroutable location must not have been learned.
+  EXPECT_EQ(controller.routing().size(), 0u);
+}
+
+// Same guard on the flow-setup path: an IP packet-in from an unknown dpid.
+TEST(ControllerState, UnknownDpidFlowSetupIsIgnored) {
+  TwoSwitchHarness net;
+  net.lldp(net.ch1, 3, 2, 4);
+  net.learn_hosts();
+  auto p = pkt::PacketBuilder()
+               .eth(net.alice_mac, net.bob_mac)
+               .ipv4(net.alice_ip, net.bob_ip, pkt::IpProto::kUdp)
+               .udp(1, 2)
+               .finalize();
+  of::PacketIn pin;
+  pin.in_port = 0;
+  pin.packet = std::move(p);
+  EXPECT_NO_THROW(net.controller.handle_switch_message(77, of::Message{pin}));
+  EXPECT_EQ(net.controller.active_flows(), 0u);
+}
+
+// Disconnecting a switch must tear down every flow with a hop on it and drop
+// its load record (bug: FlowRecords and switch_loads_ entries leaked).
+TEST(ControllerState, DisconnectTearsDownFlowsAndLoadRecord) {
+  TwoSwitchHarness net;
+  net.lldp(net.ch1, 3, 2, 4);
+  net.learn_hosts();
+  net.start_flow(1000);
+  ASSERT_EQ(net.controller.active_flows(), 1u);
+
+  // Fake a stats reply so a load record exists for dpid 1.
+  net.ch1.send_to_controller(of::StatsReply{});
+  net.sim.run();
+  ASSERT_NE(net.controller.switch_load(1), nullptr);
+
+  net.controller.handle_switch_disconnected(1);
+  EXPECT_EQ(net.controller.active_flows(), 0u);
+  EXPECT_EQ(net.controller.switch_load(1), nullptr);
+  EXPECT_EQ(net.controller.ls_port(1), std::nullopt);
+}
+
+}  // namespace
+}  // namespace livesec

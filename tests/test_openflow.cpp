@@ -232,6 +232,133 @@ TEST(FlowTable, StrictDeleteRequiresExactMatchAndPriority) {
   EXPECT_EQ(table.remove_strict(e.match, 100, 1), 1u);
 }
 
+TEST(FlowTable, ReplaceInPlaceResetsCounters) {
+  FlowTable table;
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.priority = 100;
+  e.actions = output_to(1);
+  table.add(e, 0);
+  table.lookup(0, sample_key(), 100, 1);
+  table.lookup(0, sample_key(), 100, 2);
+
+  // OFPFC_ADD with an identical match+priority replaces in place: actions
+  // swap, counters restart from zero.
+  e.actions = output_to(2);
+  table.add(e, 3);
+  EXPECT_EQ(table.size(), 1u);
+  const FlowEntry* hit = table.lookup(0, sample_key(), 40, 4);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->packet_count, 1u);
+  EXPECT_EQ(hit->byte_count, 40u);
+  EXPECT_EQ(std::get<ActionOutput>(hit->actions[0]).port, 2u);
+}
+
+TEST(FlowTable, SameKeyDifferentPriorityCoexist) {
+  // A security drop outranks the forwarding entry for the same exact key
+  // (the controller installs both); deleting the drop re-exposes the path.
+  FlowTable table;
+  FlowEntry forward;
+  forward.match = Match::exact(0, sample_key());
+  forward.priority = 100;
+  forward.actions = output_to(1);
+  table.add(forward, 0);
+  FlowEntry drop;
+  drop.match = forward.match;
+  drop.priority = 200;
+  drop.actions = {ActionDrop{}};
+  table.add(drop, 0);
+  EXPECT_EQ(table.size(), 2u);
+
+  const FlowEntry* hit = table.lookup(0, sample_key(), 10, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 200);
+
+  EXPECT_EQ(table.remove_strict(drop.match, 200, 2), 1u);
+  hit = table.lookup(0, sample_key(), 10, 3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 100);
+}
+
+TEST(FlowTable, HigherPriorityWildcardShadowsExactEntry) {
+  FlowTable table;
+  FlowEntry exact;
+  exact.match = Match::exact(0, sample_key());
+  exact.priority = 100;
+  exact.actions = output_to(1);
+  table.add(exact, 0);
+  FlowEntry wild;
+  wild.match = Match().nw_proto(6);
+  wild.priority = 300;
+  wild.actions = output_to(2);
+  table.add(wild, 0);
+
+  // The wildcard outranks the exact-tier hit; OF 1.0 priority order must
+  // survive the fast path.
+  const FlowEntry* hit = table.lookup(0, sample_key(), 10, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 300);
+
+  // At equal priority the exact entry is more specific and wins.
+  wild.priority = 100;
+  table.add(wild, 2);
+  table.remove_strict(Match().nw_proto(6), 300, 2);
+  hit = table.lookup(0, sample_key(), 10, 3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->match.is_exact(), true);
+}
+
+TEST(FlowTable, ExpiryCallbacksFireInDeadlineOrderWithFinalCounters) {
+  FlowTable table;
+  std::vector<std::pair<std::uint64_t, RemovalReason>> removed;
+  table.set_removal_callback([&](const FlowEntry& entry, RemovalReason reason) {
+    removed.emplace_back(entry.cookie, reason);
+  });
+
+  FlowEntry a;
+  a.match = Match::exact(0, sample_key(1));
+  a.cookie = 1;
+  a.hard_timeout = 100;
+  a.actions = output_to(1);
+  table.add(a, 0);
+  FlowEntry b;
+  b.match = Match::exact(0, sample_key(2));
+  b.cookie = 2;
+  b.idle_timeout = 200;
+  b.actions = output_to(1);
+  table.add(b, 0);
+  FlowEntry c;
+  c.match = Match::exact(0, sample_key(3));
+  c.cookie = 3;
+  c.hard_timeout = 300;
+  c.actions = output_to(1);
+  table.add(c, 0);
+
+  table.lookup(0, sample_key(2), 64, 10);  // b stays busy until t=10
+  table.expire(1000);
+  ASSERT_EQ(removed.size(), 3u);
+  EXPECT_EQ(removed[0], (std::pair<std::uint64_t, RemovalReason>{1, RemovalReason::kHardTimeout}));
+  EXPECT_EQ(removed[1], (std::pair<std::uint64_t, RemovalReason>{2, RemovalReason::kIdleTimeout}));
+  EXPECT_EQ(removed[2], (std::pair<std::uint64_t, RemovalReason>{3, RemovalReason::kHardTimeout}));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, ExpiredEntryCountersSurviveUntilCallback) {
+  FlowTable table;
+  std::uint64_t final_packets = 0;
+  table.set_removal_callback(
+      [&](const FlowEntry& entry, RemovalReason) { final_packets = entry.packet_count; });
+  FlowEntry e;
+  e.match = Match::exact(0, sample_key());
+  e.idle_timeout = 100;
+  e.actions = output_to(1);
+  table.add(e, 0);
+  table.lookup(0, sample_key(), 10, 50);
+  table.lookup(0, sample_key(), 10, 90);
+  table.expire(500);
+  EXPECT_EQ(final_packets, 2u);
+}
+
 // --- SecureChannel ------------------------------------------------------------
 
 class FakeSwitch : public SwitchEndpoint {

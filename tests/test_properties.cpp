@@ -122,6 +122,160 @@ TEST(FlowTableModel, RandomOperationsAgreeWithReference) {
   EXPECT_EQ(table.size(), model.size());
 }
 
+/// Reference entry replicating the pre-fast-path table semantics including
+/// counters and timeouts; scanned linearly in (priority, specificity, seq)
+/// order like the model above.
+struct TimedModelEntry {
+  of::Match match;
+  std::uint16_t priority = 0;
+  SimTime idle_timeout = 0;
+  SimTime hard_timeout = 0;
+  SimTime installed_at = 0;
+  SimTime last_hit = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t cookie = 0;
+
+  bool expired(SimTime now) const {
+    if (hard_timeout > 0 && now - installed_at >= hard_timeout) return true;
+    if (idle_timeout > 0 && now - last_hit >= idle_timeout) return true;
+    return false;
+  }
+  of::RemovalReason reason(SimTime now) const {
+    return (hard_timeout > 0 && now - installed_at >= hard_timeout)
+               ? of::RemovalReason::kHardTimeout
+               : of::RemovalReason::kIdleTimeout;
+  }
+};
+
+// The O(1) exact tier plus the timeout wheel must be observationally
+// equivalent to the old expire-then-scan table: same hits, same counters,
+// same set of expirations (the wheel may fire them in deadline order rather
+// than table order, so removals are compared as multisets).
+TEST(FlowTableModel, TimeoutsAndCountersAgreeWithReferenceScan) {
+  Rng rng(4096);
+  of::FlowTable table;
+  std::vector<TimedModelEntry> model;
+  std::vector<std::pair<std::uint64_t, of::RemovalReason>> table_removed;
+  std::vector<std::pair<std::uint64_t, of::RemovalReason>> model_removed;
+  table.set_removal_callback([&](const of::FlowEntry& e, of::RemovalReason r) {
+    table_removed.emplace_back(e.cookie, r);
+  });
+
+  std::uint64_t seq = 0;
+  std::uint64_t next_cookie = 1;
+  SimTime now = 0;
+
+  const auto model_expire = [&](SimTime t) {
+    for (const auto& m : model) {
+      if (m.expired(t)) model_removed.emplace_back(m.cookie, m.reason(t));
+    }
+    std::erase_if(model, [&](const TimedModelEntry& m) { return m.expired(t); });
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    now += rng.uniform(0, 5);
+    // Keep both sides time-synchronized before every operation.
+    table.expire(now);
+    model_expire(now);
+
+    const double dice = rng.uniform01();
+    if (dice < 0.4) {
+      const pkt::FlowKey key = random_key(rng);
+      of::Match match;
+      if (rng.chance(0.6)) {
+        match = of::Match::exact(static_cast<PortId>(rng.uniform(0, 2)), key);
+      } else {
+        if (rng.chance(0.7)) match.nw_proto(key.nw_proto);
+        if (rng.chance(0.7)) match.tp_dst(key.tp_dst);
+      }
+      of::FlowEntry entry;
+      entry.match = match;
+      entry.priority = static_cast<std::uint16_t>(rng.uniform(1, 5) * 10);
+      entry.idle_timeout = rng.chance(0.5) ? static_cast<SimTime>(rng.uniform(2, 12)) : 0;
+      entry.hard_timeout = rng.chance(0.3) ? static_cast<SimTime>(rng.uniform(5, 20)) : 0;
+      entry.cookie = next_cookie++;
+      entry.actions = of::output_to(1);
+      table.add(entry, now);
+
+      bool replaced = false;
+      for (auto& m : model) {
+        if (m.priority == entry.priority && m.match == match) {
+          // Replace in place: new timeouts/cookie, counters reset, seq kept.
+          m.idle_timeout = entry.idle_timeout;
+          m.hard_timeout = entry.hard_timeout;
+          m.installed_at = m.last_hit = now;
+          m.packet_count = m.byte_count = 0;
+          m.cookie = entry.cookie;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) {
+        TimedModelEntry m;
+        m.match = match;
+        m.priority = entry.priority;
+        m.idle_timeout = entry.idle_timeout;
+        m.hard_timeout = entry.hard_timeout;
+        m.installed_at = m.last_hit = now;
+        m.seq = seq++;
+        m.cookie = entry.cookie;
+        model.push_back(m);
+      }
+    } else if (dice < 0.5 && !model.empty()) {
+      const auto& victim = model[rng.uniform(0, model.size() - 1)];
+      const of::Match match = victim.match;
+      const std::uint16_t priority = victim.priority;
+      const std::uint64_t cookie = victim.cookie;
+      const std::size_t removed = table.remove_strict(match, priority, now);
+      ASSERT_EQ(removed, 1u) << "step " << step;
+      model_removed.emplace_back(cookie, of::RemovalReason::kDelete);
+      std::erase_if(model, [&](const TimedModelEntry& m) {
+        return m.priority == priority && m.match == match;
+      });
+    } else {
+      const pkt::FlowKey key = random_key(rng);
+      const PortId in_port = static_cast<PortId>(rng.uniform(0, 2));
+      const std::size_t bytes = rng.uniform(40, 1500);
+      const of::FlowEntry* got = table.lookup(in_port, key, bytes, now);
+
+      TimedModelEntry* want = nullptr;
+      for (auto& m : model) {
+        if (!m.match.matches(in_port, key)) continue;
+        if (want == nullptr || m.priority > want->priority ||
+            (m.priority == want->priority &&
+             m.match.specificity() > want->match.specificity()) ||
+            (m.priority == want->priority &&
+             m.match.specificity() == want->match.specificity() && m.seq < want->seq)) {
+          want = &m;
+        }
+      }
+      ASSERT_EQ(got != nullptr, want != nullptr) << "step " << step;
+      if (got != nullptr) {
+        want->packet_count += 1;
+        want->byte_count += bytes;
+        want->last_hit = now;
+        ASSERT_EQ(got->priority, want->priority) << "step " << step;
+        ASSERT_EQ(got->cookie, want->cookie) << "step " << step;
+        ASSERT_EQ(got->packet_count, want->packet_count) << "step " << step;
+        ASSERT_EQ(got->byte_count, want->byte_count) << "step " << step;
+      }
+    }
+    ASSERT_EQ(table.size(), model.size()) << "step " << step;
+  }
+
+  // Flush everything still pending, then the removal histories must agree
+  // as multisets (the wheel fires in deadline order, the scan in table
+  // order; the set of (cookie, reason) events must be identical).
+  now += 1000000;
+  table.expire(now);
+  model_expire(now);
+  std::sort(table_removed.begin(), table_removed.end());
+  std::sort(model_removed.begin(), model_removed.end());
+  EXPECT_EQ(table_removed, model_removed);
+}
+
 TEST(MatchCovers, NonStrictDeleteRemovesExactlyCoveredEntries) {
   Rng rng(77);
   for (int trial = 0; trial < 200; ++trial) {

@@ -280,5 +280,36 @@ TEST(Failover, SwitchDisconnectCleansState) {
             1u);
 }
 
+// A disconnect must also drop per-flow and per-switch monitoring state: the
+// dead switch's FlowRemoved messages can never arrive, so FlowRecords with a
+// hop there (and the stale load snapshot) would otherwise leak forever.
+TEST(Failover, SwitchDisconnectTearsDownFlowsAndLoad) {
+  net::Network network;
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& ovs1 = network.add_as_switch("ovs1", backbone);
+  auto& ovs2 = network.add_as_switch("ovs2", backbone);
+  auto& h1 = network.add_host("h1", ovs1);
+  auto& h2 = network.add_host("h2", ovs2);
+  network.start();
+
+  pkt::Packet p = pkt::PacketBuilder()
+                      .ipv4(h1.ip(), h2.ip(), pkt::IpProto::kUdp)
+                      .udp(5000, 6000)
+                      .payload("leak probe")
+                      .build();
+  h1.send_ip(std::move(p));
+  network.run_for(300 * kMillisecond);
+  ASSERT_EQ(network.controller().active_flows(), 1u);
+
+  network.controller().poll_stats();
+  network.run_for(100 * kMillisecond);
+  ASSERT_NE(network.controller().switch_load(1), nullptr);
+
+  network.controller().handle_switch_disconnected(1);
+  EXPECT_EQ(network.controller().active_flows(), 0u);
+  EXPECT_EQ(network.controller().switch_load(1), nullptr);
+  EXPECT_EQ(network.controller().ls_port(1), std::nullopt);
+}
+
 }  // namespace
 }  // namespace livesec
