@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "net/network.h"
 #include "net/traffic.h"
 
@@ -108,31 +109,55 @@ TimeoutResult run_idle_timeout(SimTime idle_timeout) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== A1: secure-channel latency vs flow-setup cost ===\n");
-  std::printf("%-18s %-20s %-20s\n", "channel latency", "first-packet RTT", "steady RTT");
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  benchjson::Emitter out("bench_ablation_control");
+
+  if (!json) {
+    std::printf("=== A1: secure-channel latency vs flow-setup cost ===\n");
+    std::printf("%-18s %-20s %-20s\n", "channel latency", "first-packet RTT", "steady RTT");
+  }
   for (SimTime latency : {25 * kMicrosecond, 100 * kMicrosecond, 500 * kMicrosecond,
                           2 * kMillisecond}) {
     const SetupResult r = run_channel_latency(latency);
-    std::printf("%-18s %-20.1f %-20.1f\n", format_time(latency).c_str(), r.first_rtt_us,
-                r.later_rtt_us);
+    if (json) {
+      const std::string tag = "channel_" + format_time(latency);
+      out.metric(tag + "_first_rtt", r.first_rtt_us, "us");
+      out.metric(tag + "_steady_rtt", r.later_rtt_us, "us");
+    } else {
+      std::printf("%-18s %-20.1f %-20.1f\n", format_time(latency).c_str(), r.first_rtt_us,
+                  r.later_rtt_us);
+    }
   }
-  std::printf("(first packet pays ~4x the one-way channel latency: packet-in + flow-mods\n"
-              " in both directions; steady-state packets never touch the controller)\n\n");
+  if (!json) {
+    std::printf("(first packet pays ~4x the one-way channel latency: packet-in + flow-mods\n"
+                " in both directions; steady-state packets never touch the controller)\n\n");
 
-  std::printf("=== A2: flow idle-timeout vs packet-in load (10 bursts, 3 s apart) ===\n");
-  std::printf("%-18s %-18s %-14s\n", "idle timeout", "packet-ins", "peak table");
+    std::printf("=== A2: flow idle-timeout vs packet-in load (10 bursts, 3 s apart) ===\n");
+    std::printf("%-18s %-18s %-14s\n", "idle timeout", "packet-ins", "peak table");
+  }
   std::uint64_t short_pins = 0, long_pins = 0;
   for (SimTime timeout : {1 * kSecond, 10 * kSecond, 60 * kSecond}) {
     const TimeoutResult r = run_idle_timeout(timeout);
     if (timeout == 1 * kSecond) short_pins = r.packet_ins;
     if (timeout == 60 * kSecond) long_pins = r.packet_ins;
-    std::printf("%-18s %-18llu %-14zu\n", format_time(timeout).c_str(),
-                static_cast<unsigned long long>(r.packet_ins), r.peak_table);
+    if (json) {
+      const std::string tag = "timeout_" + format_time(timeout);
+      out.metric(tag + "_packet_ins", static_cast<double>(r.packet_ins), "count");
+      out.metric(tag + "_peak_table", static_cast<double>(r.peak_table), "entries");
+    } else {
+      std::printf("%-18s %-18llu %-14zu\n", format_time(timeout).c_str(),
+                  static_cast<unsigned long long>(r.packet_ins), r.peak_table);
+    }
   }
-  std::printf("(short timeouts re-punt each burst; long ones hold table state)\n");
+  if (!json) std::printf("(short timeouts re-punt each burst; long ones hold table state)\n");
 
   const bool ok = short_pins > long_pins;
-  std::printf("\nshape check (shorter timeout => more packet-ins): %s\n", ok ? "PASS" : "FAIL");
+  if (json) {
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf("\nshape check (shorter timeout => more packet-ins): %s\n", ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

@@ -8,7 +8,9 @@
 // goodput is measured at the sink.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "net/network.h"
 #include "net/traffic.h"
 
@@ -163,45 +165,75 @@ double run_wired_prefilled_wallclock(int extra, double* goodput) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== E1: access throughput (paper §V.B.1) ===\n");
-  std::printf("%-28s %-18s %-18s\n", "access type", "paper", "measured");
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  benchjson::Emitter out("bench_access_throughput");
+
+  if (!json) {
+    std::printf("=== E1: access throughput (paper §V.B.1) ===\n");
+    std::printf("%-28s %-18s %-18s\n", "access type", "paper", "measured");
+  }
 
   const double wired = run_wired();
-  std::printf("%-28s %-18s %-18s\n", "wired user via OvS", "~100 Mbps",
-              format_rate_bps(wired).c_str());
+  if (json) {
+    out.metric("wired_goodput", wired, "bps");
+  } else {
+    std::printf("%-28s %-18s %-18s\n", "wired user via OvS", "~100 Mbps",
+                format_rate_bps(wired).c_str());
+  }
 
   const double wireless = run_wireless();
-  std::printf("%-28s %-18s %-18s\n", "wireless user via Pantou", "~43 Mbps",
-              format_rate_bps(wireless).c_str());
+  if (json) {
+    out.metric("wireless_goodput", wireless, "bps");
+  } else {
+    std::printf("%-28s %-18s %-18s\n", "wireless user via Pantou", "~43 Mbps",
+                format_rate_bps(wireless).c_str());
 
-  std::printf("\n-- wired users on one OvS (100 Mbps each, GbE uplink) --\n");
-  std::printf("%-10s %-18s %-18s\n", "users", "expected", "measured");
+    std::printf("\n-- wired users on one OvS (100 Mbps each, GbE uplink) --\n");
+    std::printf("%-10s %-18s %-18s\n", "users", "expected", "measured");
+  }
   bool multi_ok = true;
   for (int n : {1, 4, 8, 12}) {
     const double rate = run_wired_multi(n);
     const double expected = std::min(n * 100e6, 1e9);
-    std::printf("%-10d %-18s %-18s\n", n, format_rate_bps(expected).c_str(),
-                format_rate_bps(rate).c_str());
+    if (json) {
+      out.metric("wired_multi_" + std::to_string(n), rate, "bps");
+    } else {
+      std::printf("%-10d %-18s %-18s\n", n, format_rate_bps(expected).c_str(),
+                  format_rate_bps(rate).c_str());
+    }
     if (rate < expected * 0.85 || rate > expected * 1.05) multi_ok = false;
   }
 
-  std::printf("\n-- wireless stations on one AP (shared 43 Mbps radio) --\n");
-  std::printf("%-10s %-18s %-18s\n", "stations", "expected", "measured");
+  if (!json) {
+    std::printf("\n-- wireless stations on one AP (shared 43 Mbps radio) --\n");
+    std::printf("%-10s %-18s %-18s\n", "stations", "expected", "measured");
+  }
   for (int n : {1, 2, 5, 10}) {
     const double rate = run_wireless_multi(n);
-    std::printf("%-10d %-18s %-18s\n", n, "<= ~43 Mbps", format_rate_bps(rate).c_str());
+    if (json) {
+      out.metric("wireless_multi_" + std::to_string(n), rate, "bps");
+    } else {
+      std::printf("%-10d %-18s %-18s\n", n, "<= ~43 Mbps", format_rate_bps(rate).c_str());
+    }
     if (rate > 46e6) multi_ok = false;
   }
 
-  std::printf("\n-- wired run wall-clock vs resident flow-table entries --\n");
-  std::printf("%-10s %-18s %-14s\n", "entries", "goodput", "wall-clock");
+  if (!json) {
+    std::printf("\n-- wired run wall-clock vs resident flow-table entries --\n");
+    std::printf("%-10s %-18s %-14s\n", "entries", "goodput", "wall-clock");
+  }
   bool prefill_ok = true;
   double base_goodput = 0;
   for (int extra : {0, 1000, 10000}) {
     double goodput = 0;
     const double wall = run_wired_prefilled_wallclock(extra, &goodput);
-    std::printf("%-10d %-18s %.3f s\n", extra, format_rate_bps(goodput).c_str(), wall);
+    if (json) {
+      out.metric("prefill_" + std::to_string(extra) + "_goodput", goodput, "bps");
+      out.metric("prefill_" + std::to_string(extra) + "_wall", wall, "s");
+    } else {
+      std::printf("%-10d %-18s %.3f s\n", extra, format_rate_bps(goodput).c_str(), wall);
+    }
     if (extra == 0) base_goodput = goodput;
     // Goodput must not depend on table size (lookup is O(1) either way in
     // sim-time); wall-clock flatness is reported for EXPERIMENTS.md.
@@ -210,6 +242,11 @@ int main() {
 
   const bool ok = wired > 90e6 && wired < 105e6 && wireless > 38e6 && wireless < 46e6 &&
                   multi_ok && prefill_ok;
-  std::printf("\nshape check: %s\n", ok ? "PASS" : "FAIL");
+  if (json) {
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf("\nshape check: %s\n", ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

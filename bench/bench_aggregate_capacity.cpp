@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "net/network.h"
 #include "net/traffic.h"
 
@@ -77,20 +78,35 @@ double run_service(svc::ServiceType type, int se_hosts, int ses_per_host) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== E3: aggregate capacity, 200 SEs on 10 OvS hosts (paper §V.B.1) ===\n");
-  std::printf("%-28s %-14s %-14s %-14s\n", "service", "SE layout", "paper", "measured");
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  if (!json) {
+    std::printf("=== E3: aggregate capacity, 200 SEs on 10 OvS hosts (paper §V.B.1) ===\n");
+    std::printf("%-28s %-14s %-14s %-14s\n", "service", "SE layout", "paper", "measured");
+  }
 
   // 8 of the 10 hosts provide IDS (160 SEs), 2 provide protocol id (40 SEs).
   const double ids = run_service(svc::ServiceType::kIntrusionDetection, 8, 20);
-  std::printf("%-28s %-14s %-14s %-14s\n", "intrusion detection", "8x20", ">=8 Gbps",
-              format_rate_bps(ids).c_str());
+  if (!json) {
+    std::printf("%-28s %-14s %-14s %-14s\n", "intrusion detection", "8x20", ">=8 Gbps",
+                format_rate_bps(ids).c_str());
+  }
 
   const double l7 = run_service(svc::ServiceType::kProtocolIdentification, 2, 20);
-  std::printf("%-28s %-14s %-14s %-14s\n", "protocol identification", "2x20", ">=2 Gbps",
-              format_rate_bps(l7).c_str());
+  if (!json) {
+    std::printf("%-28s %-14s %-14s %-14s\n", "protocol identification", "2x20", ">=2 Gbps",
+                format_rate_bps(l7).c_str());
+  }
 
   const bool ok = ids >= 7.2e9 && l7 >= 1.8e9;
-  std::printf("shape check (>=~8 Gbps IDS, >=~2 Gbps protocol id): %s\n", ok ? "PASS" : "FAIL");
+  if (json) {
+    benchjson::Emitter out("bench_aggregate_capacity");
+    out.metric("ids_aggregate_goodput", ids, "bps");
+    out.metric("l7_aggregate_goodput", l7, "bps");
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf("shape check (>=~8 Gbps IDS, >=~2 Gbps protocol id): %s\n", ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

@@ -10,8 +10,10 @@
 // flows across n off-path SEs with min-load balancing: throughput rises
 // linearly with n.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "net/middlebox.h"
 #include "net/network.h"
 #include "net/traffic.h"
@@ -123,30 +125,48 @@ double run_livesec(int se_count, int client_pairs, double offered_per_client_bps
 
 }  // namespace
 
-int main() {
-  std::printf("=== Baseline: on-path middlebox vs LiveSec off-path SEs ===\n");
-  std::printf("(unit appliance capacity ~500 Mbps; 8 client pairs, 2.4 Gbps offered)\n\n");
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  benchjson::Emitter out("bench_baseline_onpath");
+  if (!json) {
+    std::printf("=== Baseline: on-path middlebox vs LiveSec off-path SEs ===\n");
+    std::printf("(unit appliance capacity ~500 Mbps; 8 client pairs, 2.4 Gbps offered)\n\n");
+  }
 
   const int pairs = 8;
   const double offered = 300e6;  // per client => 2.4 Gbps total
 
   const double traditional = run_traditional(pairs, offered);
-  std::printf("%-34s %-16s\n", "architecture", "goodput");
-  std::printf("%-34s %-16s\n", "traditional (1 on-path box)", format_rate_bps(traditional).c_str());
+  if (json) {
+    out.metric("traditional_goodput", traditional, "bps");
+  } else {
+    std::printf("%-34s %-16s\n", "architecture", "goodput");
+    std::printf("%-34s %-16s\n", "traditional (1 on-path box)",
+                format_rate_bps(traditional).c_str());
+  }
 
   double first = 0;
   bool linear = true;
   for (int n : {1, 2, 4}) {
     const double livesec = run_livesec(n, pairs, offered);
     if (n == 1) first = livesec;
-    std::printf("livesec (%d off-path SE%s)%*s %-16s %.2fx\n", n, n > 1 ? "s" : "", n > 1 ? 8 : 9,
-                "", format_rate_bps(livesec).c_str(), livesec / first);
+    if (json) {
+      out.metric("livesec_" + std::to_string(n) + "se_goodput", livesec, "bps");
+    } else {
+      std::printf("livesec (%d off-path SE%s)%*s %-16s %.2fx\n", n, n > 1 ? "s" : "",
+                  n > 1 ? 8 : 9, "", format_rate_bps(livesec).c_str(), livesec / first);
+    }
     if (n == 2 && livesec < 1.7 * first) linear = false;
     if (n == 4 && livesec < 3.2 * first) linear = false;
   }
 
   const bool ok = traditional < 600e6 && linear;
-  std::printf("\nshape check (on-path flat ~500 Mbps; LiveSec scales ~linearly): %s\n",
-              ok ? "PASS" : "FAIL");
+  if (json) {
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf("\nshape check (on-path flat ~500 Mbps; LiveSec scales ~linearly): %s\n",
+                ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 // near the paper's ~10%.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "net/network.h"
 
 using namespace livesec;
@@ -52,18 +53,27 @@ double run_livesec_ping() {
 
 }  // namespace
 
-int main() {
-  std::printf("=== E5: ping latency, legacy vs LiveSec (paper §V.B.3) ===\n");
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  if (!json) std::printf("=== E5: ping latency, legacy vs LiveSec (paper §V.B.3) ===\n");
   const double legacy = run_legacy_ping();
   const double livesec = run_livesec_ping();
   const double overhead = (livesec - legacy) / legacy * 100.0;
 
-  std::printf("%-26s %12.1f us\n", "legacy avg RTT", legacy / kMicrosecond);
-  std::printf("%-26s %12.1f us\n", "LiveSec avg RTT", livesec / kMicrosecond);
-  std::printf("%-26s %11.1f %%  (paper: ~10%%)\n", "overhead", overhead);
-
   const bool ok = overhead > 2.0 && overhead < 25.0;
-  std::printf("shape check (moderate single-digit..low-tens %% overhead): %s\n",
-              ok ? "PASS" : "FAIL");
+  if (json) {
+    benchjson::Emitter out("bench_latency");
+    out.metric("legacy_avg_rtt", legacy / kMicrosecond, "us");
+    out.metric("livesec_avg_rtt", livesec / kMicrosecond, "us");
+    out.metric("overhead", overhead, "percent");
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf("%-26s %12.1f us\n", "legacy avg RTT", legacy / kMicrosecond);
+    std::printf("%-26s %12.1f us\n", "LiveSec avg RTT", livesec / kMicrosecond);
+    std::printf("%-26s %11.1f %%  (paper: ~10%%)\n", "overhead", overhead);
+    std::printf("shape check (moderate single-digit..low-tens %% overhead): %s\n",
+                ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

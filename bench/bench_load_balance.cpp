@@ -13,8 +13,10 @@
 // processed-packet counter, exactly the paper's load metric.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "net/network.h"
 #include "net/traffic.h"
 
@@ -158,23 +160,29 @@ HeterogeneousResult run_heterogeneous(ctrl::LbStrategy strategy) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== E4: load balance deviation across SEs (paper §V.B.2) ===\n");
-  std::printf("%d SEs, 12 users x 6 uniform flows, flow-grain unless noted\n\n", 4);
-  std::printf("%-22s %-16s %-16s %-14s\n", "algorithm", "spread(max-min)", "stddev/mean",
-              "paper bound");
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  benchjson::Emitter out("bench_load_balance");
+  if (!json) {
+    std::printf("=== E4: load balance deviation across SEs (paper §V.B.2) ===\n");
+    std::printf("%d SEs, 12 users x 6 uniform flows, flow-grain unless noted\n\n", 4);
+    std::printf("%-22s %-16s %-16s %-14s\n", "algorithm", "spread(max-min)", "stddev/mean",
+                "paper bound");
+  }
 
   struct Row {
     const char* name;
+    const char* tag;
     ctrl::LbStrategy strategy;
     ctrl::LbGranularity granularity;
   };
   const Row rows[] = {
-      {"polling", ctrl::LbStrategy::kPolling, ctrl::LbGranularity::kPerFlow},
-      {"hash", ctrl::LbStrategy::kHash, ctrl::LbGranularity::kPerFlow},
-      {"queuing", ctrl::LbStrategy::kQueuing, ctrl::LbGranularity::kPerFlow},
-      {"min-load", ctrl::LbStrategy::kMinLoad, ctrl::LbGranularity::kPerFlow},
-      {"min-load (user-grain)", ctrl::LbStrategy::kMinLoad, ctrl::LbGranularity::kPerUser},
+      {"polling", "polling", ctrl::LbStrategy::kPolling, ctrl::LbGranularity::kPerFlow},
+      {"hash", "hash", ctrl::LbStrategy::kHash, ctrl::LbGranularity::kPerFlow},
+      {"queuing", "queuing", ctrl::LbStrategy::kQueuing, ctrl::LbGranularity::kPerFlow},
+      {"min-load", "min_load", ctrl::LbStrategy::kMinLoad, ctrl::LbGranularity::kPerFlow},
+      {"min-load (user-grain)", "min_load_user_grain", ctrl::LbStrategy::kMinLoad,
+       ctrl::LbGranularity::kPerUser},
   };
 
   double min_load_spread = 1.0;
@@ -187,27 +195,47 @@ int main() {
     if (row.strategy == ctrl::LbStrategy::kHash && row.granularity == ctrl::LbGranularity::kPerFlow) {
       hash_spread = d.relative_spread;
     }
-    std::printf("%-22s %-16.3f %-16.3f %-14s\n", row.name, d.relative_spread, d.coefficient,
-                is_min_load_flow ? "<=0.05" : "-");
+    if (json) {
+      out.metric(std::string(row.tag) + "_spread", d.relative_spread, "ratio");
+      out.metric(std::string(row.tag) + "_stddev_over_mean", d.coefficient, "ratio");
+    } else {
+      std::printf("%-22s %-16.3f %-16.3f %-14s\n", row.name, d.relative_spread, d.coefficient,
+                  is_min_load_flow ? "<=0.05" : "-");
+    }
   }
 
-  std::printf("\n=== extension ablation: heterogeneous pool (500 + 250 Mbps SEs) ===\n");
-  std::printf("%-22s %-22s %-18s\n", "algorithm", "fast-SE flow share", "slow-SE drops");
+  if (!json) {
+    std::printf("\n=== extension ablation: heterogeneous pool (500 + 250 Mbps SEs) ===\n");
+    std::printf("%-22s %-22s %-18s\n", "algorithm", "fast-SE flow share", "slow-SE drops");
+  }
   const HeterogeneousResult plain = run_heterogeneous(ctrl::LbStrategy::kMinLoad);
-  std::printf("%-22s %-22.2f %-18llu\n", "min-load", plain.fast_flow_share,
-              static_cast<unsigned long long>(plain.slow_se_drops));
   const HeterogeneousResult weighted =
       run_heterogeneous(ctrl::LbStrategy::kWeightedMinLoad);
-  std::printf("%-22s %-22.2f %-18llu\n", "weighted-min-load", weighted.fast_flow_share,
-              static_cast<unsigned long long>(weighted.slow_se_drops));
-  std::printf("(count-based balancing overloads the half-speed VM; capacity weighting\n"
-              " shifts ~2/3 of the flows to the fast VM and removes the drops)\n");
+  if (json) {
+    out.metric("hetero_min_load_fast_share", plain.fast_flow_share, "ratio");
+    out.metric("hetero_min_load_slow_drops", static_cast<double>(plain.slow_se_drops), "count");
+    out.metric("hetero_weighted_fast_share", weighted.fast_flow_share, "ratio");
+    out.metric("hetero_weighted_slow_drops", static_cast<double>(weighted.slow_se_drops),
+               "count");
+  } else {
+    std::printf("%-22s %-22.2f %-18llu\n", "min-load", plain.fast_flow_share,
+                static_cast<unsigned long long>(plain.slow_se_drops));
+    std::printf("%-22s %-22.2f %-18llu\n", "weighted-min-load", weighted.fast_flow_share,
+                static_cast<unsigned long long>(weighted.slow_se_drops));
+    std::printf("(count-based balancing overloads the half-speed VM; capacity weighting\n"
+                " shifts ~2/3 of the flows to the fast VM and removes the drops)\n");
+  }
 
   const bool hetero_ok =
       weighted.fast_flow_share > 0.55 && weighted.slow_se_drops < plain.slow_se_drops;
   const bool ok =
       min_load_spread <= 0.05 && min_load_spread <= hash_spread + 1e-9 && hetero_ok;
-  std::printf("\nshape check (min-load deviation <=5%% and <= hash; weighted fixes hetero): %s\n",
-              ok ? "PASS" : "FAIL");
+  if (json) {
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf("\nshape check (min-load deviation <=5%% and <= hash; weighted fixes hetero): %s\n",
+                ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include "packet/packet.h"
 #include "services/ids/ids_engine.h"
 #include "services/l7/l7_classifier.h"
+#include "sim/event_queue.h"
 
 namespace livesec {
 namespace {
@@ -243,6 +244,59 @@ void BM_ControllerFlowSetup(benchmark::State& state) {
 // so auto-calibration would run for minutes.
 BENCHMARK(BM_ControllerFlowSetup)->Unit(benchmark::kMillisecond)->Iterations(10);
 
+// M8: event dispatch is copy-free end to end. The queue moves callbacks
+// through buckets, the run, and rebuilds; a single accidental copy (e.g. a
+// pop by value of std::function, or a by-value splice) would silently tax
+// every event. Asserted, not just timed: the benchmark errors out if a 1M
+// event push/dispatch cycle copies any callback even once.
+void BM_EventQueueDrainZeroCopy(benchmark::State& state) {
+  struct CountingCallback {
+    std::uint64_t* copies;
+    std::uint64_t* dispatched;
+    CountingCallback(std::uint64_t* c, std::uint64_t* d) : copies(c), dispatched(d) {}
+    CountingCallback(const CountingCallback& other)
+        : copies(other.copies), dispatched(other.dispatched) {
+      ++*copies;
+    }
+    CountingCallback(CountingCallback&&) = default;
+    CountingCallback& operator=(const CountingCallback&) = default;
+    CountingCallback& operator=(CountingCallback&&) = default;
+    void operator()() const { ++*dispatched; }
+  };
+  constexpr std::uint64_t kEvents = 1'000'000;
+  constexpr std::uint64_t kPending = 1024;
+  for (auto _ : state) {
+    std::uint64_t copies = 0;
+    std::uint64_t dispatched = 0;
+    sim::EventQueue queue;
+    std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+    auto next_delay = [&rng]() {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return static_cast<SimTime>(rng % 1024);
+    };
+    for (std::uint64_t i = 0; i < kPending; ++i) {
+      queue.push(next_delay(), CountingCallback(&copies, &dispatched));
+    }
+    // Steady-state churn: every dispatch schedules a successor, walking the
+    // queue through bucket splices, run inserts, and window rebuilds.
+    while (dispatched < kEvents) {
+      sim::Event e = queue.pop();
+      e.action();
+      queue.push(e.time + next_delay(), CountingCallback(&copies, &dispatched));
+    }
+    benchmark::DoNotOptimize(dispatched);
+    if (copies != 0) {
+      state.SkipWithError("event queue copied a callback during drain");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_EventQueueDrainZeroCopy)->Unit(benchmark::kMillisecond)->Iterations(3);
+
 // M6: packet wire codec round trip.
 void BM_PacketSerializeParse(benchmark::State& state) {
   const pkt::Packet p = make_packet(1, std::string(1400, 'x'));
@@ -257,4 +311,18 @@ BENCHMARK(BM_PacketSerializeParse);
 }  // namespace
 }  // namespace livesec
 
-BENCHMARK_MAIN();
+// Custom main so `--json` works uniformly across all bench binaries: it is
+// rewritten into google-benchmark's native `--benchmark_format=json` flag.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  static char json_flag[] = "--benchmark_format=json";
+  for (int i = 0; i < argc; ++i) {
+    args.push_back(std::string_view(argv[i]) == "--json" ? json_flag : argv[i]);
+  }
+  int rewritten_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&rewritten_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

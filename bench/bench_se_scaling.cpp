@@ -11,8 +11,10 @@
 // a port-80 redirect policy steers them through the IDS pool (flow-grain
 // min-load balancing). We report aggregate goodput per n.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "net/network.h"
 #include "net/traffic.h"
 
@@ -105,29 +107,46 @@ Result run_one(int se_count, bool bypass_udp) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== E2: SE throughput scaling (paper §V.B.1) ===\n");
-
-  std::printf("-- bypass mode (UDP) --\n");
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  benchjson::Emitter out("bench_se_scaling");
+  if (!json) {
+    std::printf("=== E2: SE throughput scaling (paper §V.B.1) ===\n");
+    std::printf("-- bypass mode (UDP) --\n");
+  }
   const Result bypass1 = run_one(1, /*bypass_udp=*/true);
-  std::printf("%-10s %-18s %-18s\n", "n_SE", "paper", "measured");
-  std::printf("%-10d %-18s %-18s\n", 1, "~500 Mbps", format_rate_bps(bypass1.goodput_bps).c_str());
-
-  std::printf("-- HTTP deep inspection --\n");
-  std::printf("%-10s %-18s %-18s %-10s\n", "n_SE", "paper", "measured", "scaling");
+  if (json) {
+    out.metric("bypass_1se_goodput", bypass1.goodput_bps, "bps");
+  } else {
+    std::printf("%-10s %-18s %-18s\n", "n_SE", "paper", "measured");
+    std::printf("%-10d %-18s %-18s\n", 1, "~500 Mbps",
+                format_rate_bps(bypass1.goodput_bps).c_str());
+    std::printf("-- HTTP deep inspection --\n");
+    std::printf("%-10s %-18s %-18s %-10s\n", "n_SE", "paper", "measured", "scaling");
+  }
   double first = 0;
   bool ok = bypass1.goodput_bps > 430e6 && bypass1.goodput_bps < 540e6;
   for (int n : {1, 2, 4, 8, 12, 16, 20}) {
     const Result r = run_one(n, /*bypass_udp=*/false);
     if (n == 1) first = r.goodput_bps;
-    const char* paper = n == 1 ? "421 Mbps" : (n == 2 ? "827 Mbps" : (n >= 3 ? "<=1 Gbps (NIC)" : ""));
-    std::printf("%-10d %-18s %-18s %.2fx\n", n, paper, format_rate_bps(r.goodput_bps).c_str(),
-                r.goodput_bps / first);
+    if (json) {
+      out.metric("http_" + std::to_string(n) + "se_goodput", r.goodput_bps, "bps");
+    } else {
+      const char* paper =
+          n == 1 ? "421 Mbps" : (n == 2 ? "827 Mbps" : (n >= 3 ? "<=1 Gbps (NIC)" : ""));
+      std::printf("%-10d %-18s %-18s %.2fx\n", n, paper, format_rate_bps(r.goodput_bps).c_str(),
+                  r.goodput_bps / first);
+    }
     if (n == 1) ok = ok && r.goodput_bps > 350e6 && r.goodput_bps < 470e6;
     if (n == 2) ok = ok && r.goodput_bps > 1.7 * first;  // near-linear
     if (n == 20) ok = ok && r.goodput_bps < 1.1e9;       // NIC cap
   }
-  std::printf("shape check (1 SE ~421-500 Mbps, 2 SEs ~2x, 20 SEs NIC-capped): %s\n",
-              ok ? "PASS" : "FAIL");
+  if (json) {
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf("shape check (1 SE ~421-500 Mbps, 2 SEs ~2x, 20 SEs NIC-capped): %s\n",
+                ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

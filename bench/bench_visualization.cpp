@@ -13,13 +13,15 @@
 // plus the history replay between them.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "monitor/webui.h"
 #include "net/network.h"
 #include "net/traffic.h"
 
 using namespace livesec;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
   ctrl::Controller::Config config;
   config.host_timeout = 4 * kSecond;  // so the departed user ages out quickly
   net::Network network(config);
@@ -84,8 +86,10 @@ int main() {
   network.run_for(3 * kSecond);
 
   const SimTime fig7_time = network.sim().now();
-  std::printf("================ FIGURE 7: normal network environment ================\n");
-  std::printf("%s\n", ui.snapshot_text(0, fig7_time).c_str());
+  if (!json) {
+    std::printf("================ FIGURE 7: normal network environment ================\n");
+    std::printf("%s\n", ui.snapshot_text(0, fig7_time).c_str());
+  }
 
   // --- Figure 8: events ------------------------------------------------------
   // user3 leaves the network (no more traffic -> ARP timeout).
@@ -100,11 +104,13 @@ int main() {
   network.run_for(6 * kSecond);  // user3 idle long enough to age out
 
   const SimTime fig8_time = network.sim().now();
-  std::printf("================ FIGURE 8: user leave / BT surge / attack ================\n");
-  std::printf("%s\n", ui.snapshot_text(fig7_time, fig8_time).c_str());
+  if (!json) {
+    std::printf("================ FIGURE 8: user leave / BT surge / attack ================\n");
+    std::printf("%s\n", ui.snapshot_text(fig7_time, fig8_time).c_str());
 
-  std::printf("================ history replay (event database) ================\n");
-  std::printf("%s\n", ui.replay_text(fig7_time, fig8_time).c_str());
+    std::printf("================ history replay (event database) ================\n");
+    std::printf("%s\n", ui.replay_text(fig7_time, fig8_time).c_str());
+  }
 
   // Shape checks mirroring what the figures show.
   const auto& events = network.controller().events();
@@ -132,9 +138,21 @@ int main() {
     return http_users >= 4;
   }();
 
-  std::printf("figure-8 events: user_leave=%d bittorrent=%d attack=%d blocked=%d web_users>=4:%d\n",
-              user_left, bt_seen, attack_seen, blocked, web_users_seen);
   const bool ok = user_left && bt_seen && attack_seen && blocked && web_users_seen;
-  std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
+  if (json) {
+    benchjson::Emitter out("bench_visualization");
+    out.flag("user_left", user_left);
+    out.flag("bittorrent_identified", bt_seen);
+    out.flag("attack_detected", attack_seen);
+    out.flag("flow_blocked", blocked);
+    out.flag("web_users_seen", web_users_seen);
+    out.flag("shape_ok", ok);
+    out.print();
+  } else {
+    std::printf(
+        "figure-8 events: user_leave=%d bittorrent=%d attack=%d blocked=%d web_users>=4:%d\n",
+        user_left, bt_seen, attack_seen, blocked, web_users_seen);
+    std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
+  }
   return ok ? 0 : 1;
 }

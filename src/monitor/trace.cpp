@@ -30,9 +30,10 @@ std::vector<std::uint8_t> Trace::serialize() const {
   w.u64(records_.size());
   for (const auto& record : records_) {
     w.u64(static_cast<std::uint64_t>(record.time));
-    const auto bytes = record.packet->serialize();
-    w.u32(static_cast<std::uint32_t>(bytes.size()));
-    w.bytes(bytes);
+    const std::size_t n = record.packet->serialized_size();
+    w.u32(static_cast<std::uint32_t>(n));
+    w.reserve(n);
+    record.packet->serialize_into(w);
   }
   return w.take();
 }

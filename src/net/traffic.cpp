@@ -8,7 +8,8 @@ namespace livesec::net {
 
 // --- UdpCbrApp -----------------------------------------------------------------
 
-UdpCbrApp::UdpCbrApp(Host& host, Config config) : host_(&host), config_(config) {
+UdpCbrApp::UdpCbrApp(Host& host, Config config)
+    : host_(&host), config_(config), payload_(pkt::make_payload(config.packet_payload)) {
   const double bits_per_packet =
       static_cast<double>(config_.packet_payload + 28 /*UDP+IP*/ + 14 /*eth*/) * 8.0;
   interval_ = static_cast<SimTime>(bits_per_packet / config_.rate_bps * kSecond);
@@ -26,7 +27,7 @@ void UdpCbrApp::send_next() {
   pkt::Packet packet = pkt::PacketBuilder()
                            .ipv4(host_->ip(), config_.dst, pkt::IpProto::kUdp)
                            .udp(config_.src_port, config_.dst_port)
-                           .payload_size(config_.packet_payload)
+                           .payload(payload_)
                            .build();
   ++packets_sent_;
   bytes_sent_ += packet.wire_size();
@@ -36,7 +37,8 @@ void UdpCbrApp::send_next() {
 
 // --- HttpServerApp --------------------------------------------------------------
 
-HttpServerApp::HttpServerApp(Host& host, Config config) : host_(&host), config_(config) {
+HttpServerApp::HttpServerApp(Host& host, Config config)
+    : host_(&host), config_(config), mtu_payload_(pkt::make_payload(config.mtu_payload)) {
   host_->on_tcp(config_.port, [this](const pkt::Packet& packet) {
     if (!packet.tcp || !packet.ipv4) return;
     const auto key = std::make_pair(packet.ipv4->src.value(), packet.tcp->src_port);
@@ -84,8 +86,10 @@ void HttpServerApp::fill_window(Transfer& transfer) {
       bytes.resize(chunk, std::uint8_t{'x'});
       segment.payload = pkt::make_payload(std::move(bytes));
       transfer.header_sent = true;
+    } else if (chunk == config_.mtu_payload) {
+      segment.payload = mtu_payload_;  // full MTU segment: share, don't allocate
     } else {
-      segment.payload = pkt::make_payload(chunk);
+      segment.payload = pkt::make_payload(chunk);  // odd-sized tail
     }
     host_->send_ip(std::move(segment));
     transfer.remaining -= chunk;
@@ -173,7 +177,8 @@ void HttpClientApp::watchdog() {
 
 // --- SshApp ----------------------------------------------------------------------
 
-SshApp::SshApp(Host& host, Config config) : host_(&host), config_(config) {}
+SshApp::SshApp(Host& host, Config config)
+    : host_(&host), config_(config), keystroke_payload_(pkt::make_payload(std::size_t{48})) {}
 
 void SshApp::start() {
   started_at_ = host_->simulator().now();
@@ -190,7 +195,7 @@ void SshApp::tick() {
     builder.payload("SSH-2.0-OpenSSH_5.8p1 LiveSec\r\n");
     banner_sent_ = true;
   } else {
-    builder.payload_size(48);  // encrypted keystroke-sized record
+    builder.payload(keystroke_payload_);  // encrypted keystroke-sized record
   }
   ++packets_sent_;
   host_->send_ip(builder.build());
@@ -199,7 +204,8 @@ void SshApp::tick() {
 
 // --- BitTorrentApp ----------------------------------------------------------------
 
-BitTorrentApp::BitTorrentApp(Host& host, Config config) : host_(&host), config_(config) {
+BitTorrentApp::BitTorrentApp(Host& host, Config config)
+    : host_(&host), config_(config), piece_payload_(pkt::make_payload(std::size_t{1400})) {
   const double bits_per_packet = (1400 + 54) * 8.0;
   interval_ = static_cast<SimTime>(bits_per_packet / config_.rate_bps * kSecond);
   if (interval_ <= 0) interval_ = 1;
@@ -237,7 +243,7 @@ void BitTorrentApp::send_next() {
           .ipv4(host_->ip(), config_.peers[peer], pkt::IpProto::kTcp)
           .tcp(static_cast<std::uint16_t>(config_.first_src_port + peer), 6881,
                pkt::TcpFlags::kAck)
-          .payload_size(1400)
+          .payload(piece_payload_)
           .build();
   bytes_sent_ += packet.wire_size();
   host_->send_ip(std::move(packet));
@@ -247,7 +253,10 @@ void BitTorrentApp::send_next() {
 // --- AttackApp --------------------------------------------------------------------
 
 AttackApp::AttackApp(Host& host, Config config)
-    : host_(&host), config_(config), remaining_(config.packets) {}
+    : host_(&host),
+      config_(config),
+      attack_payload_(pkt::make_payload(std::string_view(config_.attack_payload))),
+      remaining_(config.packets) {}
 
 void AttackApp::start() { send_next(); }
 
@@ -258,7 +267,7 @@ void AttackApp::send_next() {
       pkt::PacketBuilder()
           .ipv4(host_->ip(), config_.server, pkt::IpProto::kTcp)
           .tcp(config_.src_port, config_.server_port, pkt::TcpFlags::kPsh | pkt::TcpFlags::kAck)
-          .payload(config_.attack_payload)
+          .payload(attack_payload_)
           .build();
   ++packets_sent_;
   host_->send_ip(std::move(packet));

@@ -36,6 +36,7 @@ class UdpCbrApp {
 
   Host* host_;
   Config config_;
+  pkt::PayloadPtr payload_;  // built once, shared by every packet of the flow
   SimTime started_at_ = 0;
   SimTime interval_ = 0;
   std::uint64_t packets_sent_ = 0;
@@ -78,6 +79,7 @@ class HttpServerApp {
 
   Host* host_;
   Config config_;
+  pkt::PayloadPtr mtu_payload_;  // full-MTU body segment, shared across sessions
   std::uint64_t requests_served_ = 0;
   std::map<std::pair<std::uint32_t, std::uint16_t>, Transfer> transfers_;
 };
@@ -146,6 +148,7 @@ class SshApp {
 
   Host* host_;
   Config config_;
+  pkt::PayloadPtr keystroke_payload_;
   SimTime started_at_ = 0;
   bool banner_sent_ = false;
   std::uint64_t packets_sent_ = 0;
@@ -172,6 +175,7 @@ class BitTorrentApp {
 
   Host* host_;
   Config config_;
+  pkt::PayloadPtr piece_payload_;  // MTU-sized piece, shared across peers
   SimTime started_at_ = 0;
   SimTime interval_ = 0;
   std::size_t next_peer_ = 0;
@@ -205,6 +209,7 @@ class AttackApp {
 
   Host* host_;
   Config config_;
+  pkt::PayloadPtr attack_payload_;
   int remaining_ = 0;
   std::uint64_t packets_sent_ = 0;
 };

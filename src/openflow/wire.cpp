@@ -53,9 +53,12 @@ void encode_packet_field(pkt::BufferWriter& w, const pkt::PacketPtr& packet) {
     w.u32(0);
     return;
   }
-  const auto bytes = packet->serialize();
-  w.u32(static_cast<std::uint32_t>(bytes.size()));
-  w.bytes(bytes);
+  // Serialize straight into the message writer — no temporary vector; the
+  // length is known up front from the packet structure.
+  const std::size_t n = packet->serialized_size();
+  w.u32(static_cast<std::uint32_t>(n));
+  w.reserve(n);
+  packet->serialize_into(w);
 }
 
 /// Decodes a length-prefixed packet field; empty (length 0) yields nullptr.

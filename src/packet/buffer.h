@@ -25,6 +25,11 @@ class BufferWriter {
     u32(static_cast<std::uint32_t>(v >> 32));
     u32(static_cast<std::uint32_t>(v));
   }
+  /// Pre-sizes the buffer for `additional` more bytes, so a writer that
+  /// knows its output size (e.g. Packet::serialized_size()) grows at most
+  /// once instead of doubling through push_back.
+  void reserve(std::size_t additional) { data_.reserve(data_.size() + additional); }
+
   void bytes(std::span<const std::uint8_t> b) { data_.insert(data_.end(), b.begin(), b.end()); }
   void string(std::string_view s) {
     data_.insert(data_.end(), s.begin(), s.end());

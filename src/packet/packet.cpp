@@ -2,22 +2,34 @@
 
 #include <sstream>
 
+#include "packet/packet_pool.h"
+
 namespace livesec::pkt {
 
-std::size_t Packet::wire_size() const {
+std::size_t Packet::serialized_size() const {
   std::size_t size = eth.wire_size();
   if (arp) size += ArpHeader::kSize;
   if (ipv4) size += Ipv4Header::kSize;
   if (tcp) size += TcpHeader::kSize;
   if (udp) size += UdpHeader::kSize;
   if (icmp) size += IcmpHeader::kSize;
-  size += payload_size();
+  return size + payload_size();
+}
+
+std::size_t Packet::wire_size() const {
+  const std::size_t size = serialized_size();
   // Minimum Ethernet frame size (64 bytes incl. FCS; we model 60 + implicit FCS).
   return size < 60 ? 60 : size;
 }
 
 std::vector<std::uint8_t> Packet::serialize() const {
   BufferWriter w;
+  w.reserve(serialized_size());  // exact wire bytes, sized in one growth step
+  serialize_into(w);
+  return w.take();
+}
+
+void Packet::serialize_into(BufferWriter& w) const {
   eth.serialize(w);
   if (arp) {
     arp->serialize(w);
@@ -34,7 +46,6 @@ std::vector<std::uint8_t> Packet::serialize() const {
   } else if (payload) {
     w.bytes(*payload);
   }
-  return w.take();
 }
 
 std::optional<Packet> Packet::parse(std::span<const std::uint8_t> bytes) {
@@ -97,6 +108,8 @@ std::string Packet::summary() const {
   out << " len " << wire_size();
   return out.str();
 }
+
+PacketPtr finalize(Packet p) { return pooled_packet(std::move(p)); }
 
 std::shared_ptr<const std::vector<std::uint8_t>> make_payload(std::string_view text) {
   return std::make_shared<const std::vector<std::uint8_t>>(text.begin(), text.end());

@@ -29,8 +29,13 @@ struct Packet {
   std::shared_ptr<const std::vector<std::uint8_t>> payload;
 
   /// Total size on the wire in bytes (headers + payload), used for
-  /// serialization-delay and throughput accounting.
+  /// serialization-delay and throughput accounting. Clamped to the 60-byte
+  /// Ethernet minimum; `serialized_size()` is the unclamped byte count.
   std::size_t wire_size() const;
+
+  /// Exact number of bytes `serialize()` emits (headers + payload, no
+  /// minimum-frame padding). Lets callers reserve scratch space up front.
+  std::size_t serialized_size() const;
 
   std::size_t payload_size() const { return payload ? payload->size() : 0; }
   std::span<const std::uint8_t> payload_view() const {
@@ -39,6 +44,11 @@ struct Packet {
 
   /// Serializes to exact wire bytes (Ethernet frame).
   std::vector<std::uint8_t> serialize() const;
+
+  /// Appends the wire bytes to an existing writer — codecs embedding packets
+  /// (e.g. the OpenFlow PacketIn/PacketOut encoding) reuse their scratch
+  /// buffer instead of paying a temporary vector per packet.
+  void serialize_into(BufferWriter& w) const;
 
   /// Parses wire bytes back into a structured packet. Returns nullopt for
   /// malformed frames. Unknown EtherTypes keep the remaining bytes as payload.
@@ -51,7 +61,13 @@ struct Packet {
 using PacketPtr = std::shared_ptr<const Packet>;
 
 /// Wraps a Packet value into the shared immutable form used on the wire.
-inline PacketPtr finalize(Packet p) { return std::make_shared<const Packet>(std::move(p)); }
+/// Allocation is pooled (see packet_pool.h): steady-state traffic recycles
+/// freed packet blocks instead of round-tripping through malloc.
+PacketPtr finalize(Packet p);
+
+/// Shared immutable payload bytes — one allocation, shared by every copy of
+/// the packet and (for CBR-style senders) by every packet of a flow.
+using PayloadPtr = std::shared_ptr<const std::vector<std::uint8_t>>;
 
 /// Convenience payload construction from a string literal / string.
 std::shared_ptr<const std::vector<std::uint8_t>> make_payload(std::string_view text);
@@ -77,7 +93,7 @@ class PacketBuilder {
   PacketBuilder& payload_size(std::size_t size);
 
   Packet build() const { return packet_; }
-  PacketPtr finalize() const { return std::make_shared<const Packet>(packet_); }
+  PacketPtr finalize() const { return pkt::finalize(packet_); }
 
  private:
   Packet packet_;

@@ -1,0 +1,80 @@
+#include "packet/packet_pool.h"
+
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace livesec::pkt {
+
+namespace {
+
+/// Free blocks, all of one size: allocate_shared performs a single allocation
+/// of its internal node type (control block + Packet), so every block this
+/// pool ever sees has identical size. Shared (not static-lifetime-owned) so
+/// packets outliving static destruction still deallocate safely: each
+/// allocator copy — including the one stored inside every control block —
+/// keeps the state alive.
+struct PoolState {
+  std::vector<void*> free_blocks;
+  std::size_t block_size = 0;
+
+  ~PoolState() {
+    for (void* b : free_blocks) ::operator delete(b);
+  }
+};
+
+/// Bounds pool memory (~4k blocks of ~0.3KB) under burst churn.
+constexpr std::size_t kMaxPooledBlocks = 4096;
+
+std::shared_ptr<PoolState> pool_state() {
+  static std::shared_ptr<PoolState> state = std::make_shared<PoolState>();
+  return state;
+}
+
+template <typename T>
+struct RecyclingAllocator {
+  using value_type = T;
+
+  std::shared_ptr<PoolState> state;
+
+  explicit RecyclingAllocator(std::shared_ptr<PoolState> s) : state(std::move(s)) {}
+  template <typename U>
+  RecyclingAllocator(const RecyclingAllocator<U>& other) : state(other.state) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1 && state->block_size == sizeof(T) && !state->free_blocks.empty()) {
+      void* b = state->free_blocks.back();
+      state->free_blocks.pop_back();
+      return static_cast<T*>(b);
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n == 1 && (state->block_size == 0 || state->block_size == sizeof(T)) &&
+        state->free_blocks.size() < kMaxPooledBlocks) {
+      state->block_size = sizeof(T);
+      state->free_blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const RecyclingAllocator<U>& other) const {
+    return state == other.state;
+  }
+  template <typename U>
+  bool operator!=(const RecyclingAllocator<U>& other) const {
+    return state != other.state;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<Packet> pooled_packet(Packet&& p) {
+  return std::allocate_shared<Packet>(RecyclingAllocator<Packet>(pool_state()), std::move(p));
+}
+
+}  // namespace livesec::pkt

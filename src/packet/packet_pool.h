@@ -1,0 +1,25 @@
+// Recycling allocator behind the shared-packet hot path.
+#pragma once
+
+#include <memory>
+
+#include "packet/packet.h"
+
+namespace livesec::pkt {
+
+/// Wraps a Packet into the shared form using a pooled allocation.
+///
+/// `std::make_shared<const Packet>` costs one heap allocation (control block
+/// + Packet) per packet; on the simulation hot path packets are created and
+/// destroyed at line rate, and every header-rewrite hop (paper §IV.A installs
+/// four per policied flow) mints another one. The pool keeps freed blocks on
+/// a free list and hands them back on the next allocation, so steady-state
+/// traffic recycles a small working set of blocks instead of hammering
+/// malloc. The free list is bounded; overflow falls back to operator delete.
+///
+/// Returns a mutable pointer so callers can finish header rewrites before
+/// publishing; it converts implicitly to PacketPtr (shared_ptr<const Packet>)
+/// which freezes it by convention.
+std::shared_ptr<Packet> pooled_packet(Packet&& p);
+
+}  // namespace livesec::pkt

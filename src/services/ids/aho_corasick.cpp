@@ -58,6 +58,9 @@ void AhoCorasick::build() {
       }
     }
   }
+  for (int c = 0; c < 256; ++c) {
+    root_advances_[c] = nodes_[0].next[c] != 0 ? 1 : 0;
+  }
   built_ = true;
 }
 
@@ -69,23 +72,41 @@ std::size_t AhoCorasick::scan(std::span<const std::uint8_t> data, std::vector<Hi
 std::size_t AhoCorasick::scan_stream(std::span<const std::uint8_t> data, std::uint32_t& state,
                                      std::vector<Hit>& hits) const {
   assert(built_);
+  const Node* nodes = nodes_.data();
   std::size_t found = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    state = static_cast<std::uint32_t>(nodes_[state].next[data[i]]);
-    for (std::uint32_t id : nodes_[state].output) {
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  while (i < n) {
+    if (state == 0) {
+      // Root fast path: skim bytes no pattern starts with (they loop on the
+      // root with no output — the root matches no empty pattern).
+      while (i < n && root_advances_[data[i]] == 0) ++i;
+      if (i == n) break;
+    }
+    state = static_cast<std::uint32_t>(nodes[state].next[data[i]]);
+    for (std::uint32_t id : nodes[state].output) {
       hits.push_back(Hit{id, i + 1});
       ++found;
     }
+    ++i;
   }
   return found;
 }
 
 bool AhoCorasick::contains_any(std::span<const std::uint8_t> data) const {
   assert(built_);
+  const Node* nodes = nodes_.data();
   std::uint32_t state = 0;
-  for (std::uint8_t b : data) {
-    state = static_cast<std::uint32_t>(nodes_[state].next[b]);
-    if (!nodes_[state].output.empty()) return true;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  while (i < n) {
+    if (state == 0) {
+      while (i < n && root_advances_[data[i]] == 0) ++i;
+      if (i == n) break;
+    }
+    state = static_cast<std::uint32_t>(nodes[state].next[data[i]]);
+    if (!nodes[state].output.empty()) return true;
+    ++i;
   }
   return false;
 }

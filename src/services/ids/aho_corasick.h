@@ -54,6 +54,12 @@ class AhoCorasick {
 
   std::vector<std::string> patterns_;
   std::vector<Node> nodes_;
+  /// root_advances_[b] iff byte b moves the automaton off the root. While at
+  /// the root (the overwhelmingly common state for benign payloads), bytes
+  /// that stay there can be skimmed in a tight loop instead of paying the
+  /// dependent-load table walk — no pattern starts with them, so no hit or
+  /// state change is possible.
+  std::uint8_t root_advances_[256] = {};
   bool built_ = false;
 };
 

@@ -1,0 +1,134 @@
+// Move-only callable with small-buffer storage, sized for event callbacks.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace livesec::sim {
+
+/// `void()` callable wrapper used for simulation events instead of
+/// `std::function`.
+///
+/// Differences that matter on the kernel hot path:
+///   - 40 bytes of inline storage — sized so that `sim::Event` (time + seq +
+///     callback) is exactly one 64-byte cache line, while every scheduling
+///     lambda in the packet path (link delivery captures this + packed
+///     dir/size + PacketPtr = 32 bytes) fits without a heap allocation.
+///     `std::function` on libstdc++ spills to the heap past 16 bytes.
+///   - move-only, so nothing can accidentally copy a captured PacketPtr and
+///     pay refcount traffic; moves relocate the capture inline.
+/// Callables that are larger, over-aligned, or throwing-move fall back to a
+/// single heap allocation (still move-as-pointer afterwards).
+class InlineFunction {
+ public:
+  static constexpr std::size_t kInlineSize = 40;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    init(std::forward<F>(f));
+  }
+
+  /// Destroys the current callable (if any) and constructs `f` in place —
+  /// lets containers fill a default-constructed slot without a second move.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    init(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs the callable into `dst` and destroys it in `src`.
+    /// nullptr means the callable is trivially copyable: relocation is a
+    /// plain byte copy with no indirect call and no destructor run.
+    void (*relocate)(void* src, void* dst);
+    /// nullptr for trivially destructible callables.
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  struct InlineModel {
+    static D* self(void* s) { return std::launder(reinterpret_cast<D*>(s)); }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* src, void* dst) {
+      D* p = self(src);
+      ::new (dst) D(std::move(*p));
+      p->~D();
+    }
+    static void destroy(void* s) { self(s)->~D(); }
+    static constexpr Ops ops{
+        &invoke, std::is_trivially_copyable_v<D> ? nullptr : &relocate,
+        std::is_trivially_destructible_v<D> ? nullptr : &destroy};
+  };
+
+  template <typename D>
+  struct HeapModel {
+    static D* self(void* s) { return *std::launder(reinterpret_cast<D**>(s)); }
+    static void invoke(void* s) { (*self(s))(); }
+    static void destroy(void* s) { delete self(s); }
+    // The stored pointer relocates as a byte copy.
+    static constexpr Ops ops{&invoke, nullptr, &destroy};
+  };
+
+  template <typename F>
+  void init(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineModel<D>::ops;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) = new D(std::forward<F>(f));
+      ops_ = &HeapModel<D>::ops;
+    }
+  }
+
+  void take(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+      } else {
+        __builtin_memcpy(storage_, other.storage_, kInlineSize);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace livesec::sim

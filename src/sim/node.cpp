@@ -36,7 +36,6 @@ Link::~Link() {
 
 void Link::enqueue(Port& from, pkt::PacketPtr packet) {
   const int dir = (&from == a_) ? 0 : 1;
-  Port* to = (dir == 0) ? b_ : a_;
   const std::size_t size = packet->wire_size();
 
   if (backlog_[dir] + size > config_.max_queue_bytes) {
@@ -54,10 +53,16 @@ void Link::enqueue(Port& from, pkt::PacketPtr packet) {
   backlog_[dir] += size;
 
   const SimTime arrival = done + config_.propagation_delay;
-  sim_->schedule_at(arrival, [this, dir, to, size, packet = std::move(packet)]() mutable {
-    backlog_[dir] -= size;
+  // Capture kept to 32 bytes (this, packed dir+size, PacketPtr) so the
+  // callback stays inside InlineFunction's inline storage; the destination
+  // port is recomputed from the direction on delivery.
+  const std::uint32_t size32 = static_cast<std::uint32_t>(size);
+  const std::uint8_t dir8 = static_cast<std::uint8_t>(dir);
+  sim_->schedule_at(arrival, [this, dir8, size32, packet = std::move(packet)]() mutable {
+    backlog_[dir8] -= size32;
     ++delivered_packets_;
-    delivered_bytes_ += size;
+    delivered_bytes_ += size32;
+    Port* to = (dir8 == 0) ? b_ : a_;
     to->receive(std::move(packet));
   });
 }

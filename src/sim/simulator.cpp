@@ -5,16 +5,6 @@
 
 namespace livesec::sim {
 
-void Simulator::schedule(SimTime delay, std::function<void()> action) {
-  assert(delay >= 0 && "cannot schedule into the past");
-  queue_.push(now_ + delay, std::move(action));
-}
-
-void Simulator::schedule_at(SimTime when, std::function<void()> action) {
-  assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(when, std::move(action));
-}
-
 std::uint64_t Simulator::run() {
   std::uint64_t count = 0;
   while (step()) ++count;

@@ -1,11 +1,13 @@
 // The simulation kernel: virtual clock plus event dispatch loop.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/inline_function.h"
 
 namespace livesec::sim {
 
@@ -18,11 +20,21 @@ class Simulator {
  public:
   SimTime now() const { return now_; }
 
-  /// Schedules `action` to run `delay` ns from now (delay >= 0).
-  void schedule(SimTime delay, std::function<void()> action);
+  /// Schedules `action` to run `delay` ns from now (delay >= 0). Callbacks
+  /// capturing up to InlineFunction::kInlineSize bytes are stored without a
+  /// heap allocation, constructed directly in their queue slot.
+  template <typename F>
+  void schedule(SimTime delay, F&& action) {
+    assert(delay >= 0 && "cannot schedule into the past");
+    queue_.push(now_ + delay, std::forward<F>(action));
+  }
 
   /// Schedules `action` at absolute simulated time `when` (>= now()).
-  void schedule_at(SimTime when, std::function<void()> action);
+  template <typename F>
+  void schedule_at(SimTime when, F&& action) {
+    assert(when >= now_ && "cannot schedule into the past");
+    queue_.push(when, std::forward<F>(action));
+  }
 
   /// Runs events until the queue drains. Returns the number of events run.
   std::uint64_t run();

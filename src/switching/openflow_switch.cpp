@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "packet/flow_key.h"
+#include "packet/packet_pool.h"
 #include "sim/simulator.h"
 
 namespace livesec::sw {
@@ -81,25 +82,38 @@ void OpenFlowSwitch::process(PortId in_port, pkt::PacketPtr packet) {
 
 void OpenFlowSwitch::execute_actions(const of::ActionList& actions, PortId in_port,
                                      pkt::PacketPtr packet) {
+  // Copy-on-write header rewrite: consecutive set-field actions share ONE
+  // pooled copy of the packet (the common redirect entry rewrites both MACs,
+  // paper §IV.A). The copy stays privately mutable only until it is sent or
+  // punted — after that it may be referenced elsewhere, so the next rewrite
+  // takes a fresh copy.
+  pkt::Packet* mut = nullptr;
+  const auto mutable_packet = [&]() -> pkt::Packet& {
+    if (mut == nullptr) {
+      auto copy = pkt::pooled_packet(pkt::Packet(*packet));
+      mut = copy.get();
+      packet = std::move(copy);
+    }
+    return *mut;
+  };
   for (const of::Action& action : actions) {
     if (const auto* out = std::get_if<of::ActionOutput>(&action)) {
       ++packets_forwarded_;
       send(out->port, packet);
+      mut = nullptr;
     } else if (std::get_if<of::ActionFlood>(&action)) {
       for (PortId p = 0; p < port_count(); ++p) {
         if (p != in_port) send(p, packet);
       }
       ++packets_forwarded_;
+      mut = nullptr;
     } else if (std::get_if<of::ActionController>(&action)) {
       punt_to_controller(in_port, packet);
+      mut = nullptr;
     } else if (const auto* set_dst = std::get_if<of::ActionSetDlDst>(&action)) {
-      auto copy = std::make_shared<pkt::Packet>(*packet);
-      copy->eth.dst = set_dst->mac;
-      packet = std::move(copy);
+      mutable_packet().eth.dst = set_dst->mac;
     } else if (const auto* set_src = std::get_if<of::ActionSetDlSrc>(&action)) {
-      auto copy = std::make_shared<pkt::Packet>(*packet);
-      copy->eth.src = set_src->mac;
-      packet = std::move(copy);
+      mutable_packet().eth.src = set_src->mac;
     } else if (std::get_if<of::ActionDrop>(&action)) {
       return;
     }
