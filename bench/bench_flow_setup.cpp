@@ -1,0 +1,252 @@
+// B-C — Control-plane flow-setup fast path: how many reactive flow setups per
+// second the controller sustains, and how fast the ARP directory proxy
+// answers (paper §V "interactive policy enforcement" overhead; the
+// controller-fingerprinting literature treats flow-setup latency as the
+// observable signature of a slow control plane).
+//
+// Two workloads per policy-table size (10 / 100 / 1000 policies):
+//
+//   cold  — every packet-in opens a distinct flow *class* (new dst host /
+//           dst port), so each setup pays the full decision: policy lookup,
+//           host location, path computation, flow-mod construction.
+//   warm  — packet-ins differ only in tp_src within one class, the shape of
+//           a client re-contacting the same service: with the decision cache
+//           this is a hash hit + template replay; without it each setup
+//           recomputes everything.
+//
+// Plus arp_proxy_replies_per_sec: directory-proxy answers from global host
+// state (paper §III.C.2).
+//
+// `--json` emits the machine-readable form recorded in BENCH_controller.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "controller/controller.h"
+#include "openflow/channel.h"
+#include "packet/packet.h"
+#include "sim/simulator.h"
+#include "topology/lldp.h"
+
+using namespace livesec;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr int kHostsPerSide = 32;
+
+/// Switch-side endpoint that only counts what the controller pushes; the
+/// bench measures controller cost, not datapath cost.
+class CountingSwitch : public of::SwitchEndpoint {
+ public:
+  explicit CountingSwitch(DatapathId dpid) : dpid_(dpid) {}
+  DatapathId datapath_id() const override { return dpid_; }
+  void handle_controller_message(const of::Message& m) override {
+    ++messages_;
+    (void)m;
+  }
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  DatapathId dpid_;
+  std::uint64_t messages_ = 0;
+};
+
+MacAddress client_mac(int i) { return MacAddress::from_uint64(0x100000u + static_cast<unsigned>(i)); }
+MacAddress server_mac(int i) { return MacAddress::from_uint64(0x200000u + static_cast<unsigned>(i)); }
+Ipv4Address client_ip(int i) { return Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i + 1)); }
+Ipv4Address server_ip(int i) { return Ipv4Address(10, 0, 2, static_cast<std::uint8_t>(i + 1)); }
+
+/// Two AS switches on a legacy uplink, 32 hosts per side, driven by direct
+/// packet-in injection (the channel only carries controller -> switch
+/// traffic, so the measurement isolates the controller's decision path).
+struct Harness {
+  sim::Simulator sim;
+  ctrl::Controller controller;
+  CountingSwitch sw1{1};
+  CountingSwitch sw2{2};
+  of::SecureChannel ch1{sim, sw1, controller, 0};
+  of::SecureChannel ch2{sim, sw2, controller, 0};
+
+  Harness() : controller(sim) {
+    controller.attach_channel(1, ch1);
+    controller.attach_channel(2, ch2);
+    ch1.connect(of::FeaturesReply{1, 64, "sw1"});
+    ch2.connect(of::FeaturesReply{2, 64, "sw2"});
+    sim.run();
+    // LLDP probe from sw2 port 63 arriving on sw1 port 62: both LS uplinks.
+    topo::LldpInfo info;
+    info.chassis_id = 2;
+    info.port_id = 63;
+    packet_in(1, 62, pkt::finalize(info.to_packet()));
+    for (int i = 0; i < kHostsPerSide; ++i) {
+      packet_in(1, static_cast<PortId>(i), gratuitous_arp(client_mac(i), client_ip(i)));
+      packet_in(2, static_cast<PortId>(i), gratuitous_arp(server_mac(i), server_ip(i)));
+    }
+  }
+
+  static pkt::PacketPtr gratuitous_arp(MacAddress mac, Ipv4Address ip) {
+    return pkt::PacketBuilder()
+        .eth(mac, MacAddress::from_uint64(0xFFFFFFFFFFFFull))
+        .arp(pkt::ArpOp::kRequest, mac, ip, MacAddress{}, ip)
+        .finalize();
+  }
+
+  void packet_in(DatapathId dpid, PortId in_port, pkt::PacketPtr packet) {
+    of::PacketIn pin;
+    pin.in_port = in_port;
+    pin.buffer_id = of::PacketOut::kNoBuffer;
+    pin.packet = std::move(packet);
+    controller.handle_switch_message(dpid, of::Message{std::move(pin)});
+  }
+
+  /// Installs `count` policies: all but one are fully-specified (mac/mac)
+  /// rules over a disjoint address pool, plus non-matching wildcard subnet
+  /// rules; the single catch-all ALLOW the measured flows hit sits at the
+  /// lowest priority, so a linear table scans everything first.
+  void add_policies(int count) {
+    for (int i = 0; i < count - 1; ++i) {
+      ctrl::Policy p;
+      p.priority = 1000 + i;
+      if (i % 8 == 7) {
+        p.name = "subnet" + std::to_string(i);
+        p.nw_dst = Ipv4Address(192, 168, static_cast<std::uint8_t>(i % 256), 0);
+        p.nw_dst_prefix = 24;
+        p.action = ctrl::PolicyAction::kDeny;
+      } else {
+        p.name = "pair" + std::to_string(i);
+        p.src_mac = MacAddress::from_uint64(0x900000u + static_cast<unsigned>(i));
+        p.dst_mac = MacAddress::from_uint64(0xA00000u + static_cast<unsigned>(i));
+        p.action = ctrl::PolicyAction::kAllow;
+      }
+      controller.policies().add(p);
+    }
+    ctrl::Policy catch_all;
+    catch_all.name = "default-allow";
+    catch_all.priority = 1;
+    catch_all.action = ctrl::PolicyAction::kAllow;
+    controller.policies().add(catch_all);
+  }
+};
+
+pkt::PacketPtr udp_packet(int client, int server, std::uint16_t tp_src, std::uint16_t tp_dst) {
+  return pkt::PacketBuilder()
+      .eth(client_mac(client), server_mac(server))
+      .ipv4(client_ip(client), server_ip(server), pkt::IpProto::kUdp)
+      .udp(tp_src, tp_dst)
+      .finalize();
+}
+
+/// Flow setups per wall second. Warm mode keeps one (src, dst, dst-port)
+/// class and varies tp_src; cold mode opens a new class every packet.
+double run_setups(int policies, bool warm, int count) {
+  Harness h;
+  h.add_policies(policies);
+  h.sim.run();
+
+  // Packet construction is harness cost, not controller cost: build the
+  // whole arrival sequence up front so the timed region is decisions only.
+  std::vector<pkt::PacketPtr> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    if (warm) {
+      arrivals.push_back(udp_packet(0, 0, static_cast<std::uint16_t>(1 + (n % 60000)), 7777));
+    } else {
+      arrivals.push_back(
+          udp_packet(n % kHostsPerSide, (n / kHostsPerSide) % kHostsPerSide, 40000,
+                     static_cast<std::uint16_t>(5000 + n / (kHostsPerSide * kHostsPerSide))));
+    }
+  }
+
+  const std::uint64_t before = h.controller.stats().flows_installed;
+  const auto start = Clock::now();
+  for (int n = 0; n < count; ++n) {
+    h.packet_in(1, static_cast<PortId>(warm ? 0 : n % kHostsPerSide), std::move(arrivals[n]));
+    if ((n & 511) == 511) h.sim.run();
+  }
+  h.sim.run();
+  const double elapsed = seconds_since(start);
+  const std::uint64_t installed = h.controller.stats().flows_installed - before;
+  if (installed != static_cast<std::uint64_t>(count)) {
+    std::fprintf(stderr, "WARNING: installed %llu of %d setups\n",
+                 static_cast<unsigned long long>(installed), count);
+  }
+  return static_cast<double>(count) / elapsed;
+}
+
+/// ARP directory-proxy replies per wall second (requests for known hosts).
+double run_arp_proxy(int count) {
+  Harness h;
+  h.add_policies(100);
+  h.sim.run();
+
+  std::vector<pkt::PacketPtr> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    const int target = n % kHostsPerSide;
+    requests.push_back(pkt::PacketBuilder()
+                           .eth(client_mac(0), MacAddress::from_uint64(0xFFFFFFFFFFFFull))
+                           .arp(pkt::ArpOp::kRequest, client_mac(0), client_ip(0), MacAddress{},
+                                server_ip(target))
+                           .finalize());
+  }
+
+  const auto start = Clock::now();
+  for (int n = 0; n < count; ++n) {
+    h.packet_in(1, 0, std::move(requests[n]));
+    if ((n & 1023) == 1023) h.sim.run();
+  }
+  h.sim.run();
+  const double elapsed = seconds_since(start);
+  if (h.controller.stats().arp_proxied < static_cast<std::uint64_t>(count)) {
+    std::fprintf(stderr, "WARNING: only %llu of %d ARP requests proxied\n",
+                 static_cast<unsigned long long>(h.controller.stats().arp_proxied), count);
+  }
+  return static_cast<double>(count) / elapsed;
+}
+
+double best_of(int repeats, double (*fn)(int, bool, int), int policies, bool warm, int count) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) best = std::max(best, fn(policies, warm, count));
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  if (!json) std::printf("=== B-C: control-plane flow setup ===\n");
+
+  constexpr int kPolicyCounts[] = {10, 100, 1000};
+  constexpr int kColdSetups = 4096;
+  constexpr int kWarmSetups = 16384;
+  constexpr int kRepeats = 2;
+
+  benchjson::Emitter out("bench_flow_setup");
+  for (int policies : kPolicyCounts) {
+    const double cold = best_of(kRepeats, run_setups, policies, false, kColdSetups);
+    const double warm = best_of(kRepeats, run_setups, policies, true, kWarmSetups);
+    out.metric("setup_cold_p" + std::to_string(policies), cold, "flows/s");
+    out.metric("setup_warm_p" + std::to_string(policies), warm, "flows/s");
+    if (!json) {
+      std::printf("%4d policies  cold %10.0f flows/s   warm %10.0f flows/s\n", policies, cold,
+                  warm);
+    }
+  }
+
+  double arp = 0;
+  for (int r = 0; r < kRepeats; ++r) arp = std::max(arp, run_arp_proxy(16384));
+  out.metric("arp_proxy_replies_per_sec", arp, "replies/s");
+  if (!json) std::printf("ARP directory proxy %14.0f replies/s\n", arp);
+
+  if (json) out.print();
+  return 0;
+}

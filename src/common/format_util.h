@@ -1,0 +1,34 @@
+// Tiny append-style integer formatters for hot-path string rendering.
+//
+// snprintf routes through the locale-aware vfprintf machinery (~200ns per
+// call); flow events render several addresses and ports apiece on the flow
+// setup path, where that adds up to microseconds. These helpers write
+// directly into a caller-provided buffer and return the number of
+// characters produced.
+#pragma once
+
+#include <cstdint>
+
+namespace livesec {
+
+/// Writes `v` as two lowercase hex digits.
+inline int format_hex_byte(char* out, std::uint8_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  out[0] = kHex[v >> 4];
+  out[1] = kHex[v & 0xF];
+  return 2;
+}
+
+/// Writes `v` in decimal (no sign, no padding).
+inline int format_u32_dec(char* out, std::uint32_t v) {
+  char tmp[10];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (int i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+}  // namespace livesec

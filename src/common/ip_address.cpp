@@ -1,6 +1,6 @@
 #include "common/ip_address.h"
 
-#include <cstdio>
+#include "common/format_util.h"
 
 namespace livesec {
 
@@ -27,10 +27,13 @@ std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
 }
 
 std::string Ipv4Address::to_string() const {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF, (value_ >> 16) & 0xFF,
-                (value_ >> 8) & 0xFF, value_ & 0xFF);
-  return buf;
+  char buf[15];
+  int len = 0;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) buf[len++] = '.';
+    len += format_u32_dec(buf + len, (value_ >> shift) & 0xFF);
+  }
+  return std::string(buf, static_cast<std::size_t>(len));
 }
 
 }  // namespace livesec

@@ -1,7 +1,8 @@
 #include "common/mac_address.h"
 
 #include <cctype>
-#include <cstdio>
+
+#include "common/format_util.h"
 
 namespace livesec {
 
@@ -31,10 +32,13 @@ std::optional<MacAddress> MacAddress::parse(std::string_view text) {
 }
 
 std::string MacAddress::to_string() const {
-  char buf[18];
-  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1],
-                bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
-  return buf;
+  char buf[17];
+  int len = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i != 0) buf[len++] = ':';
+    len += format_hex_byte(buf + len, bytes_[static_cast<std::size_t>(i)]);
+  }
+  return std::string(buf, static_cast<std::size_t>(len));
 }
 
 }  // namespace livesec

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "openflow/wire.h"
+#include "packet/buffer.h"
 #include "packet/dhcp.h"
 #include "services/service_element.h"
 #include "sim/simulator.h"
@@ -19,16 +21,30 @@ Controller::Controller(sim::Simulator& sim, Config config)
       registry_(config.se_liveness_timeout),
       policies_(config.default_action),
       ca_(config.cert_secret),
-      lb_(config.lb_strategy) {}
+      lb_(config.lb_strategy) {
+  // Pre-size the per-flow tables: flow setup inserts into each of these on
+  // every new flow, and growing them one rehash at a time under load puts
+  // the rehash right on the packet-in latency path.
+  flows_.reserve(1 << 12);
+  reverse_index_.reserve(1 << 12);
+  cookie_index_.reserve(1 << 12);
+  decision_cache_.reserve(std::min<std::size_t>(config_.decision_cache_capacity, 1 << 12));
+}
 
 void Controller::attach_channel(DatapathId dpid, of::SecureChannel& channel,
                                 topo::NodeKind kind) {
   SwitchState& state = switches_[dpid];
   state.channel = &channel;
   state.kind = kind;
+  ++epoch_;  // cached decisions may predate this channel
 }
 
-void Controller::register_ls_port(DatapathId dpid, PortId port) { ls_ports_[dpid] = port; }
+void Controller::register_ls_port(DatapathId dpid, PortId port) {
+  auto it = ls_ports_.find(dpid);
+  if (it != ls_ports_.end() && it->second == port) return;
+  ls_ports_[dpid] = port;
+  ++epoch_;  // cached templates steer through the old uplink
+}
 
 std::optional<PortId> Controller::ls_port(DatapathId dpid) const {
   auto it = ls_ports_.find(dpid);
@@ -43,6 +59,7 @@ void Controller::handle_switch_connected(DatapathId dpid, const of::FeaturesRepl
   state.connected = true;
   state.num_ports = features.num_ports;
   state.name = features.name;
+  ++epoch_;  // cached decisions were built while this switch was absent
 
   topo::TopologyGraph::SwitchInfo info;
   info.dpid = dpid;
@@ -80,6 +97,7 @@ void Controller::handle_switch_disconnected(DatapathId dpid) {
   for (const pkt::FlowKey& key : affected) teardown_flow(key);
   switch_loads_.erase(dpid);
   ls_ports_.erase(dpid);
+  ++epoch_;  // cached decisions may route through or ingress at this switch
 }
 
 void Controller::handle_switch_message(DatapathId dpid, const of::Message& message) {
@@ -144,8 +162,16 @@ void Controller::handle_lldp(DatapathId dpid, PortId in_port, const pkt::Packet&
   // Legacy-Switching uplink, and the emitting port is the peer's. A switch
   // re-cabled to a different uplink port must overwrite the stale record, or
   // two-hop routing keeps steering into the dead port.
-  ls_ports_.insert_or_assign(dpid, in_port);
-  ls_ports_.insert_or_assign(info->chassis_id, info->port_id);
+  const auto learn_uplink = [this](DatapathId sw, PortId port) {
+    auto [it, inserted] = ls_ports_.try_emplace(sw, port);
+    if (!inserted && it->second == port) return;
+    it->second = port;
+    ++epoch_;  // cached templates steer through the old uplink
+  };
+  learn_uplink(dpid, in_port);
+  learn_uplink(info->chassis_id, info->port_id);
+  // New uplink knowledge may be exactly what parked setups were waiting for.
+  if (!pending_setups_.empty()) retry_all_pending();
 
   const topo::AsLink link{info->chassis_id, info->port_id, dpid, in_port};
   if (!topology_.links().find(link.src, link.dst)) {
@@ -244,6 +270,7 @@ void Controller::handle_daemon(DatapathId dpid, PortId in_port, const pkt::Packe
     routing_.learn(packet.eth.src, packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid, in_port,
                    sim_->now());
     prime_fabric_location(packet.eth.src, packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid);
+    if (!pending_setups_.empty()) retry_pending_for_host(packet.eth.src);
     if (fresh) {
       topo::TopologyGraph::AttachedNode node;
       node.name = "se" + std::to_string(message->se_id) + ":" +
@@ -391,6 +418,8 @@ void Controller::handle_arp(DatapathId dpid, const of::PacketIn& pin) {
     topology_.upsert_node(arp.sender_mac.to_string(), node);
     raise(mon::EventType::kHostJoin, arp.sender_mac.to_string(), arp.sender_ip.to_string(), dpid);
   }
+  // The announced host may be the missing endpoint of parked setups.
+  if (!pending_setups_.empty()) retry_pending_for_host(arp.sender_mac);
 
   const SwitchState& state = sw_it->second;
   if (state.channel == nullptr) return;
@@ -480,6 +509,7 @@ void Controller::handle_dhcp(DatapathId dpid, const of::PacketIn& pin) {
         raise(mon::EventType::kHostJoin, request->client_mac.to_string(),
               "dhcp " + leased->to_string(), dpid);
       }
+      if (!pending_setups_.empty()) retry_pending_for_host(request->client_mac);
     }
   } else {
     return;  // clients never receive OFFER/ACK via packet-in
@@ -504,18 +534,44 @@ pkt::FlowKey Controller::session_reverse(const pkt::FlowKey& key) {
   return rev;
 }
 
+pkt::FlowKey Controller::decision_class(const pkt::FlowKey& key) {
+  pkt::FlowKey cls = key;
+  // The source port is ephemeral and no policy predicate reads it, so every
+  // TCP/UDP flow of one (src, dst, dst-port) conversation shares a decision.
+  // Other protocols keep the full key: ICMP stores the echo type in tp_src.
+  if (cls.nw_proto == static_cast<std::uint8_t>(pkt::IpProto::kTcp) ||
+      cls.nw_proto == static_cast<std::uint8_t>(pkt::IpProto::kUdp)) {
+    cls.tp_src = 0;
+  }
+  return cls;
+}
+
+Controller::DecisionStamp Controller::current_stamp() const {
+  return DecisionStamp{policies_.version(), routing_.version(), registry_.version(), epoch_};
+}
+
+void Controller::validate_decision_cache() {
+  const DecisionStamp stamp = current_stamp();
+  if (stamp == cache_stamp_) return;
+  if (!decision_cache_.empty()) {
+    decision_cache_.clear();
+    ++stats_.fastpath.decision_cache_invalidations;
+  }
+  cache_stamp_ = stamp;
+}
+
 void Controller::handle_flow_setup(DatapathId dpid, const of::PacketIn& pin) {
   const pkt::Packet& packet = *pin.packet;
   const pkt::FlowKey key = pkt::FlowKey::from_packet(packet);
 
-  if (blocked_flows_.contains(key)) {
+  if (!blocked_flows_.empty() && blocked_flows_.contains(key)) {
     install_drop(dpid, pin.in_port, key);
     return;
   }
 
-  // Duplicate packet-in: packets of this flow raced to the controller before
-  // the entries landed on the switch. Release the parked packet through the
-  // already-computed ingress actions instead of re-running flow setup.
+  // Duplicate packet-in after install: packets of this flow raced to the
+  // controller before the entries landed on the switch. Release the parked
+  // packet through the already-computed ingress actions.
   if (auto existing = flows_.find(key); existing != flows_.end()) {
     auto sw = switches_.find(dpid);
     if (sw != switches_.end() && sw->second.channel != nullptr) {
@@ -528,107 +584,118 @@ void Controller::handle_flow_setup(DatapathId dpid, const of::PacketIn& pin) {
     return;
   }
 
-  const Policy* policy = policies_.lookup(key);
-  const PolicyAction action = policy != nullptr ? policy->action : policies_.default_action();
-
-  if (action == PolicyAction::kDeny) {
-    ++stats_.flows_denied;
-    install_drop(dpid, pin.in_port, key);
-    raise(mon::EventType::kPolicyDenied, key.dl_src.to_string(),
-          policy != nullptr ? policy->name : "default-deny", dpid, 0, 2, &key);
+  // Duplicate packet-in while the first one's setup is still in flight:
+  // remember the waiter, compute nothing.
+  if (auto pending = pending_setups_.find(key); pending != pending_setups_.end()) {
+    ++stats_.fastpath.suppressed_packet_ins;
+    if (pending->second.waiters.size() < config_.pending_waiters_per_flow) {
+      pending->second.waiters.push_back({dpid, pin.in_port, pin.buffer_id});
+    }
     return;
   }
 
-  const HostLocation* src = routing_.find(key.dl_src);
-  const HostLocation* dst = routing_.find(key.dl_dst);
-  if (src == nullptr || dst == nullptr) {
-    // Destination unknown: the host has not announced itself yet. Without a
-    // location there is no egress switch; drop and let the sender retry
-    // after ARP.
+  validate_decision_cache();
+  const pkt::FlowKey cls = decision_class(key);
+
+  if (auto it = decision_cache_.find(DecisionKey{cls, dpid, pin.in_port});
+      it != decision_cache_.end()) {
+    ++stats_.fastpath.decision_cache_hits;
+    // The balancer still accounts every flow to its (per-user pinned) SEs.
+    for (std::uint64_t se_id : it->second.se_ids) {
+      lb_.note_cached_assignment(registry_, se_id);
+    }
+    apply_decision(it->second, dpid, pin, key);
     return;
   }
+  ++stats_.fastpath.decision_cache_misses;
+
+  auto decision = build_decision(dpid, pin.in_port, cls, key);
+  if (!decision) {
+    // An endpoint has not announced itself yet (or an uplink is undiscovered):
+    // park the setup until the missing knowledge arrives.
+    park_setup(dpid, pin, key);
+    return;
+  }
+  if (decision->cacheable && config_.decision_cache_capacity > 0) {
+    if (decision_cache_.size() >= config_.decision_cache_capacity) {
+      // Bounded cache: a full flush is simpler than LRU and refills fast.
+      decision_cache_.clear();
+    }
+    auto [it, inserted] =
+        decision_cache_.emplace(DecisionKey{cls, dpid, pin.in_port}, std::move(*decision));
+    apply_decision(it->second, dpid, pin, key);
+  } else {
+    apply_decision(*decision, dpid, pin, key);
+  }
+}
+
+std::optional<Controller::CachedDecision> Controller::build_decision(DatapathId dpid,
+                                                                     PortId in_port,
+                                                                     const pkt::FlowKey& cls,
+                                                                     const pkt::FlowKey& key) {
+  (void)dpid;
+  (void)in_port;
+  CachedDecision decision;
+  // The class zeroes only tp_src, which no policy predicate reads, so the
+  // class verdict is the per-flow verdict.
+  const Policy* policy = policies_.lookup(cls);
+  decision.action = policy != nullptr ? policy->action : policies_.default_action();
+  decision.policy_id = policy != nullptr ? policy->id : 0;
+  decision.policy_name = policy != nullptr ? policy->name : "default-deny";
+  if (decision.action == PolicyAction::kDeny) return decision;
+
+  const HostLocation* src = routing_.find(cls.dl_src);
+  const HostLocation* dst = routing_.find(cls.dl_dst);
+  if (src == nullptr || dst == nullptr) return std::nullopt;
 
   // Select the service chain via load balancing (paper §IV.B).
   std::vector<const SeRecord*> chain;
-  std::vector<std::uint64_t> se_ids;
-  if (action == PolicyAction::kRedirect && policy != nullptr) {
+  if (decision.action == PolicyAction::kRedirect && policy != nullptr) {
+    // Per-flow granularity re-balances every flow of the class, so the
+    // chain (and its templates) must not be memoized.
+    if (policy->granularity == LbGranularity::kPerFlow) decision.cacheable = false;
     for (svc::ServiceType service : policy->service_chain) {
+      // Balance on the concrete key: per-flow pins and release_flow() are
+      // keyed by it.
       const auto se_id = lb_.assign(registry_, service, key, policy->granularity);
       if (!se_id) continue;  // no live SE of this type: fail-open
       const SeRecord* se = registry_.find(*se_id);
       if (se != nullptr) {
         chain.push_back(se);
-        se_ids.push_back(*se_id);
+        decision.se_ids.push_back(*se_id);
+        decision.se_macs.push_back(se->mac);
       }
     }
   }
 
-  FlowRecord record;
-  record.key = key;
-  record.ingress_dpid = dpid;
-  record.ingress_port = pin.in_port;
-  record.policy_id = policy != nullptr ? policy->id : 0;
-  record.se_ids = se_ids;
-  record.user = key.dl_src;
-  record.started_at = sim_->now();
-
-  const std::uint64_t cookie = next_cookie_++;
-  record.cookie = cookie;
-
-  // Teach the legacy fabric where the destination and the chain's SEs live,
-  // so the two-hop route unicasts instead of flooding.
-  prime_fabric_location(dst->mac, dst->ip, dst->dpid);
-  for (const SeRecord* se : chain) prime_fabric_location(se->mac, se->ip, se->dpid);
+  decision.prime.emplace_back(dst->mac, dst->ip, dst->dpid);
+  for (const SeRecord* se : chain) decision.prime.emplace_back(se->mac, se->ip, se->dpid);
 
   PathSpec forward;
-  forward.key = key;
+  forward.key = cls;
   forward.src = *src;
   forward.dst = *dst;
   forward.chain = chain;
-  forward.buffer_id = pin.buffer_id;
   forward.idle_timeout = config_.flow_idle_timeout;
   forward.notify_ingress_removal = true;
-  forward.cookie = cookie;
-  if (!install_path(forward, record.installed, &record.ingress_actions)) return;
+  // Build-then-send: a forward path that cannot complete (unknown LS port)
+  // aborts before anything reaches a switch — no partially installed flows.
+  if (!build_path(forward, decision, /*reverse=*/false)) return std::nullopt;
 
-  // Pre-install the reply direction as one session (paper §III.C.3),
+  // Pre-build the reply direction as one session (paper §III.C.3),
   // traversing the same SEs in reverse order so stream inspection sees both
   // directions of the conversation.
   PathSpec reverse;
-  reverse.key = session_reverse(key);
+  reverse.key = session_reverse(cls);
   reverse.src = *dst;
   reverse.dst = *src;
   reverse.chain = {chain.rbegin(), chain.rend()};
   reverse.idle_timeout = config_.flow_idle_timeout;
-  install_path(reverse, record.installed);
-
-  record.reverse_key = reverse.key;
-  reverse_index_[reverse.key] = key;
-  cookie_index_[cookie] = key;
-
-  // Register the steered variants so SE event reports resolve to this flow.
-  for (const SeRecord* se : chain) {
-    pkt::FlowKey steered = key;
-    steered.dl_dst = se->mac;
-    steered_index_[steered] = key;
-    record.steered_keys.push_back(steered);
-    pkt::FlowKey steered_rev = reverse.key;
-    steered_rev.dl_dst = se->mac;
-    steered_index_[steered_rev] = key;
-    record.steered_keys.push_back(steered_rev);
-  }
-
-  ++stats_.flows_installed;
-  if (!chain.empty()) ++stats_.flows_redirected;
-  raise(mon::EventType::kFlowStart, key.dl_src.to_string(),
-        key.to_string() + (chain.empty() ? "" : " via " + std::to_string(chain.size()) + " SE"),
-        dpid, 0, 0, &key);
-  flows_[key] = std::move(record);
+  build_path(reverse, decision, /*reverse=*/true);
+  return decision;
 }
 
-bool Controller::install_path(const PathSpec& spec,
-                              std::vector<std::pair<DatapathId, of::Match>>& installed,
-                              of::ActionList* ingress_actions) {
+bool Controller::build_path(const PathSpec& spec, CachedDecision& decision, bool reverse) {
   DatapathId cur = spec.src.dpid;
   PortId cur_in = spec.src.port;
   pkt::FlowKey cur_key = spec.key;
@@ -640,7 +707,16 @@ bool Controller::install_path(const PathSpec& spec,
   // host's MAC appear on the SE switch's port and re-point it there,
   // blackholing the host's own traffic (middlebox MAC flapping).
   const SeRecord* prev_se = nullptr;
-  bool first = true;
+  bool first = !reverse;  // the ingress entry is the first forward entry
+
+  auto switch_mods = [&](DatapathId dpid) -> SwitchMods& {
+    for (SwitchMods& sm : decision.switches) {
+      if (sm.dpid == dpid) return sm;
+    }
+    decision.switches.emplace_back();
+    decision.switches.back().dpid = dpid;
+    return decision.switches.back();
+  };
 
   auto emit = [&](DatapathId dpid, of::FlowEntry entry) -> void {
     entry.priority = config_.flow_priority;
@@ -651,16 +727,16 @@ bool Controller::install_path(const PathSpec& spec,
     }
     of::FlowMod mod;
     mod.command = of::FlowModCommand::kAdd;
+    SwitchMods& sm = switch_mods(dpid);
     if (first) {
-      entry.cookie = spec.cookie;
       mod.notify_on_removal = spec.notify_ingress_removal;
-      mod.buffer_id = spec.buffer_id;
-      if (ingress_actions != nullptr) *ingress_actions = entry.actions;
+      decision.ingress_actions = entry.actions;
+      sm.ingress_mod = static_cast<int>(sm.mods.size());
       first = false;
     }
-    installed.emplace_back(dpid, entry.match);
     mod.entry = std::move(entry);
-    send_flow_mod(dpid, mod);
+    sm.mods.push_back(std::move(mod));
+    sm.reverse_dir.push_back(reverse ? 1 : 0);
   };
 
   // Steering hops through the service chain (paper §IV.A steps i-iii).
@@ -723,6 +799,234 @@ bool Controller::install_path(const PathSpec& spec,
   return true;
 }
 
+void Controller::apply_decision(CachedDecision& decision, DatapathId dpid, const of::PacketIn& pin,
+                                const pkt::FlowKey& key) {
+  if (decision.action == PolicyAction::kDeny) {
+    ++stats_.flows_denied;
+    install_drop(dpid, pin.in_port, key);
+    raise(mon::EventType::kPolicyDenied, key.dl_src.to_string(), decision.policy_name, dpid, 0, 2,
+          &key);
+    return;
+  }
+
+  // Teach the legacy fabric where the destination and the chain's SEs live,
+  // so the two-hop route unicasts instead of flooding.
+  for (const auto& [mac, ip, at] : decision.prime) prime_fabric_location(mac, ip, at);
+
+  FlowRecord record;
+  record.key = key;
+  record.ingress_dpid = dpid;
+  record.ingress_port = pin.in_port;
+  record.policy_id = decision.policy_id;
+  record.se_ids = decision.se_ids;
+  record.user = key.dl_src;
+  record.started_at = sim_->now();
+  record.ingress_actions = decision.ingress_actions;
+  const std::uint64_t cookie = next_cookie_++;
+  record.cookie = cookie;
+
+  record.installed.reserve(4);
+
+  // The templates match the flow *class*; patch the zeroed source-port field
+  // back to this flow's value (forward entries: tp_src, reverse: tp_dst).
+  // (decision_class zeroes tp_src exactly for TCP/UDP, so compare in place
+  // instead of materializing the class key.)
+  const bool patch_ports =
+      key.tp_src != 0 && (key.nw_proto == static_cast<std::uint8_t>(pkt::IpProto::kTcp) ||
+                          key.nw_proto == static_cast<std::uint8_t>(pkt::IpProto::kUdp));
+
+  for (SwitchMods& sm : decision.switches) {
+    auto sw = switches_.find(sm.dpid);
+    of::SecureChannel* channel =
+        sw != switches_.end() && sw->second.connected ? sw->second.channel : nullptr;
+
+    if (channel != nullptr && channel->wire_encoding()) {
+      // Preserialized replay: the batch is encoded once per decision; each
+      // flow patches its few per-flow bytes into a copy of the frame and
+      // skips the per-message encode entirely.
+      if (sm.frame.empty()) {
+        of::FlowModBatch batch;
+        batch.mods = sm.mods;
+        sm.frame = of::encode_message(of::Message{std::move(batch)}, 0, &sm.mod_offsets);
+      }
+      std::vector<std::uint8_t> frame = sm.frame;
+      const std::span<std::uint8_t> bytes(frame);
+      for (std::size_t i = 0; i < sm.mods.size(); ++i) {
+        const std::size_t at = sm.mod_offsets[i];
+        if (patch_ports) {
+          if (sm.reverse_dir[i] != 0) {
+            pkt::patch_u16(bytes, at + of::FlowModPatchOffsets::kMatchTpDst, key.tp_src);
+          } else {
+            pkt::patch_u16(bytes, at + of::FlowModPatchOffsets::kMatchTpSrc, key.tp_src);
+          }
+        }
+        if (static_cast<int>(i) == sm.ingress_mod) {
+          pkt::patch_u32(bytes, at + of::FlowModPatchOffsets::kBufferId, pin.buffer_id);
+          pkt::patch_u64(bytes, at + of::FlowModPatchOffsets::kCookie, cookie);
+        }
+        of::Match match = sm.mods[i].entry.match;
+        if (patch_ports) {
+          if (sm.reverse_dir[i] != 0) {
+            match.tp_dst(key.tp_src);
+          } else {
+            match.tp_src(key.tp_src);
+          }
+        }
+        record.installed.emplace_back(sm.dpid, std::move(match));
+      }
+      stats_.fastpath.batched_flow_mods += sm.mods.size();
+      channel->send_frame_to_switch(bytes);
+    } else {
+      of::FlowModBatch batch;
+      batch.mods.reserve(sm.mods.size());
+      for (std::size_t i = 0; i < sm.mods.size(); ++i) {
+        of::FlowMod mod = sm.mods[i];
+        if (patch_ports) {
+          if (sm.reverse_dir[i] != 0) {
+            mod.entry.match.tp_dst(key.tp_src);
+          } else {
+            mod.entry.match.tp_src(key.tp_src);
+          }
+        }
+        if (static_cast<int>(i) == sm.ingress_mod) {
+          mod.entry.cookie = cookie;
+          mod.buffer_id = pin.buffer_id;
+        }
+        record.installed.emplace_back(sm.dpid, mod.entry.match);
+        batch.mods.push_back(std::move(mod));
+      }
+      if (channel != nullptr) {
+        if (batch.mods.size() == 1) {
+          channel->send_to_switch(of::Message{std::move(batch.mods.front())});
+        } else {
+          stats_.fastpath.batched_flow_mods += batch.mods.size();
+          channel->send_to_switch(of::Message{std::move(batch)});
+        }
+      }
+    }
+  }
+
+  record.reverse_key = session_reverse(key);
+  reverse_index_.insert_or_assign(record.reverse_key, key);
+  cookie_index_.emplace(cookie, key);
+
+  // Register the steered variants so SE event reports resolve to this flow.
+  for (const MacAddress& se_mac : decision.se_macs) {
+    pkt::FlowKey steered = key;
+    steered.dl_dst = se_mac;
+    steered_index_[steered] = key;
+    record.steered_keys.push_back(steered);
+    pkt::FlowKey steered_rev = record.reverse_key;
+    steered_rev.dl_dst = se_mac;
+    steered_index_[steered_rev] = key;
+    record.steered_keys.push_back(steered_rev);
+  }
+
+  ++stats_.flows_installed;
+  if (!decision.se_ids.empty()) ++stats_.flows_redirected;
+  raise(mon::EventType::kFlowStart, key.dl_src.to_string(),
+        key.to_string() + (decision.se_ids.empty()
+                               ? ""
+                               : " via " + std::to_string(decision.se_ids.size()) + " SE"),
+        dpid, 0, 0, &key);
+  index_flow_host(key, record);
+  flows_.insert_or_assign(key, std::move(record));
+}
+
+// --- pending setups (packet-in suppression) ------------------------------------------
+
+void Controller::park_setup(DatapathId dpid, const of::PacketIn& pin, const pkt::FlowKey& key) {
+  if (pending_setups_.size() >= config_.pending_setup_capacity) {
+    // Table full: drop this setup, the sender retries (exactly what happened
+    // to every unknown-destination setup before the pending table existed).
+    ++stats_.fastpath.pending_setups_expired;
+    return;
+  }
+  PendingSetup& pending = pending_setups_[key];
+  pending.packet = pin.packet;
+  pending.parked_at = sim_->now();
+  pending.waiters.push_back({dpid, pin.in_port, pin.buffer_id});
+  ++stats_.fastpath.pending_setups_parked;
+}
+
+void Controller::retry_pending_for_host(const MacAddress& mac) {
+  std::vector<pkt::FlowKey> keys;
+  for (const auto& [key, pending] : pending_setups_) {
+    if (key.dl_src == mac || key.dl_dst == mac) keys.push_back(key);
+  }
+  retry_pending(keys);
+}
+
+void Controller::retry_all_pending() {
+  std::vector<pkt::FlowKey> keys;
+  keys.reserve(pending_setups_.size());
+  for (const auto& [key, pending] : pending_setups_) keys.push_back(key);
+  retry_pending(keys);
+}
+
+void Controller::retry_pending(const std::vector<pkt::FlowKey>& keys) {
+  for (const pkt::FlowKey& key : keys) {
+    auto it = pending_setups_.find(key);
+    if (it == pending_setups_.end()) continue;
+    PendingSetup pending = std::move(it->second);
+    pending_setups_.erase(it);
+    if (pending.waiters.empty() || pending.packet == nullptr) continue;
+
+    // Re-run the setup as the first waiter's packet-in.
+    of::PacketIn pin;
+    pin.buffer_id = pending.waiters.front().buffer_id;
+    pin.in_port = pending.waiters.front().in_port;
+    pin.reason = of::PacketInReason::kNoMatch;
+    pin.packet = pending.packet;
+    handle_flow_setup(pending.waiters.front().dpid, pin);
+
+    auto flow = flows_.find(key);
+    if (flow == flows_.end()) continue;  // denied, or parked again
+    ++stats_.fastpath.pending_setups_completed;
+    // Release the suppressed duplicates' buffered packets through the
+    // now-installed ingress actions.
+    for (std::size_t i = 1; i < pending.waiters.size(); ++i) {
+      const PendingSetup::Waiter& waiter = pending.waiters[i];
+      auto sw = switches_.find(waiter.dpid);
+      if (sw == switches_.end() || sw->second.channel == nullptr) continue;
+      of::PacketOut out;
+      out.buffer_id = waiter.buffer_id;
+      out.in_port = waiter.in_port;
+      out.actions = flow->second.ingress_actions;
+      sw->second.channel->send_to_switch(std::move(out));
+    }
+  }
+}
+
+void Controller::expire_pending(SimTime now) {
+  for (auto it = pending_setups_.begin(); it != pending_setups_.end();) {
+    if (now - it->second.parked_at >= config_.pending_setup_timeout) {
+      ++stats_.fastpath.pending_setups_expired;
+      it = pending_setups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- per-host flow index -------------------------------------------------------------
+
+void Controller::index_flow_host(const pkt::FlowKey& key, const FlowRecord& record) {
+  flows_by_host_[record.user].insert(key);
+  if (key.dl_dst != record.user) flows_by_host_[key.dl_dst].insert(key);
+}
+
+void Controller::unindex_flow_host(const pkt::FlowKey& key, const FlowRecord& record) {
+  const auto erase_from = [&](const MacAddress& mac) {
+    auto it = flows_by_host_.find(mac);
+    if (it == flows_by_host_.end()) return;
+    it->second.erase(key);
+    if (it->second.empty()) flows_by_host_.erase(it);
+  };
+  erase_from(record.user);
+  if (key.dl_dst != record.user) erase_from(key.dl_dst);
+}
+
 void Controller::install_drop(DatapathId dpid, PortId in_port, const pkt::FlowKey& key) {
   of::FlowEntry entry;
   entry.match = of::Match::exact(in_port, key);
@@ -744,6 +1048,7 @@ void Controller::teardown_flow(const pkt::FlowKey& key) {
   if (it == flows_.end()) return;
   FlowRecord record = std::move(it->second);
   flows_.erase(it);
+  unindex_flow_host(key, record);
 
   for (const auto& [dpid, match] : record.installed) {
     of::FlowMod mod;
@@ -779,10 +1084,10 @@ std::size_t Controller::teardown_flows_through_se(std::uint64_t se_id) {
 }
 
 std::size_t Controller::teardown_flows_of_host(const MacAddress& mac) {
-  std::vector<pkt::FlowKey> affected;
-  for (const auto& [key, record] : flows_) {
-    if (record.user == mac || key.dl_dst == mac) affected.push_back(key);
-  }
+  auto it = flows_by_host_.find(mac);
+  if (it == flows_by_host_.end()) return 0;
+  // Copy: teardown_flow mutates the index.
+  const std::vector<pkt::FlowKey> affected(it->second.begin(), it->second.end());
   for (const pkt::FlowKey& key : affected) teardown_flow(key);
   return affected.size();
 }
@@ -810,6 +1115,7 @@ void Controller::on_flow_removed(DatapathId dpid, const of::FlowRemoved& removed
   }
   for (const pkt::FlowKey& steered : record.steered_keys) steered_index_.erase(steered);
   reverse_index_.erase(record.reverse_key);
+  unindex_flow_host(key, record);
 
   raise(mon::EventType::kFlowEnd, key.dl_src.to_string(),
         "pkts=" + std::to_string(removed.packet_count) +
@@ -847,6 +1153,7 @@ void Controller::housekeeping_tick() {
               " flows re-routed",
           se.dpid, se.se_id);
   }
+  expire_pending(now);
   // Periodic re-discovery keeps the link table fresh across topology
   // changes; interval 0 limits discovery to switch-join time.
   if (config_.lldp_interval > 0 && now >= next_lldp_) {

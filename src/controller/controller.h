@@ -10,8 +10,10 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/hash.h"
 #include "controller/certification.h"
 #include "controller/dhcp_pool.h"
 #include "controller/load_balancer.h"
@@ -58,6 +60,14 @@ class Controller : public of::ControllerEndpoint {
     /// Poll switch statistics every interval (0 = off). Feeds the WebUI's
     /// per-switch load view (paper §IV.D: "load condition of links").
     SimTime stats_interval = 0;
+    /// Flow-decision cache bound (entries). 0 disables memoization.
+    std::size_t decision_cache_capacity = 8192;
+    /// Pending-setup (packet-in suppression) table bounds: distinct flows
+    /// parked, duplicate packet-ins remembered per flow, and how long a
+    /// parked setup may wait before housekeeping drops it.
+    std::size_t pending_setup_capacity = 1024;
+    std::size_t pending_waiters_per_flow = 16;
+    SimTime pending_setup_timeout = 1 * kSecond;
   };
 
   Controller(sim::Simulator& sim, Config config);
@@ -91,8 +101,14 @@ class Controller : public of::ControllerEndpoint {
   /// controller installs there gets an extra output to `port`, so a capture
   /// host on that port records the traffic (paper abstract: "historical
   /// traffic replay"). Affects entries installed after the call.
-  void set_mirror_port(DatapathId dpid, PortId port) { mirror_ports_[dpid] = port; }
-  void clear_mirror_port(DatapathId dpid) { mirror_ports_.erase(dpid); }
+  void set_mirror_port(DatapathId dpid, PortId port) {
+    mirror_ports_[dpid] = port;
+    ++epoch_;  // cached flow-mod templates no longer carry the mirror output
+  }
+  void clear_mirror_port(DatapathId dpid) {
+    mirror_ports_.erase(dpid);
+    ++epoch_;
+  }
 
   /// Enables the central DHCP service of the directory proxy: clients'
   /// DISCOVER/REQUEST packet-ins are answered from this pool.
@@ -147,8 +163,14 @@ class Controller : public of::ControllerEndpoint {
     std::uint64_t lldp_links = 0;
     /// Messages ignored because their dpid never attached a channel.
     std::uint64_t unknown_dpid_drops = 0;
+    /// Decision-cache and packet-in-suppression observability.
+    mon::FastPathCounters fastpath;
   };
   const Stats& stats() const { return stats_; }
+
+  // Fast-path state sizes (WebUI & tests).
+  std::size_t decision_cache_size() const { return decision_cache_.size(); }
+  std::size_t pending_setup_count() const { return pending_setups_.size(); }
 
  private:
   struct SwitchState {
@@ -185,6 +207,107 @@ class Controller : public of::ControllerEndpoint {
     std::uint64_t cookie = 0;
   };
 
+  // --- flow-decision fast path -----------------------------------------------
+  //
+  // A flow *class* is the FlowKey with tp_src zeroed for TCP/UDP (no policy
+  // predicate reads tp_src, and the path is port-agnostic); ICMP and other
+  // protocols keep the full key, because their tp_src carries semantics
+  // (echo type). All flows of one class share a memoized decision: the
+  // policy verdict, the SE chain, and per-switch flow-mod templates built
+  // against the class key, replayed per flow with only the transport-port
+  // fields, cookie and buffer id patched.
+
+  /// Flow-mod templates of one switch's share of a class's path.
+  struct SwitchMods {
+    DatapathId dpid = 0;
+    std::vector<of::FlowMod> mods;          // class-keyed templates, in order
+    std::vector<std::uint8_t> reverse_dir;  // parallel: 1 = reverse-direction
+    int ingress_mod = -1;  // patched with cookie + buffer id (forward ingress)
+    /// Lazily built preserialized wire frame (FlowModBatch) + each mod's
+    /// body offset, for channels with wire encoding: replayed with byte
+    /// patches instead of re-encoding per flow.
+    std::vector<std::uint8_t> frame;
+    std::vector<std::size_t> mod_offsets;
+  };
+
+  struct CachedDecision {
+    PolicyAction action = PolicyAction::kAllow;
+    std::uint32_t policy_id = 0;
+    std::string policy_name;  // deny-event detail
+    std::vector<std::uint64_t> se_ids;
+    std::vector<MacAddress> se_macs;  // steered-key registration
+    std::vector<SwitchMods> switches;
+    of::ActionList ingress_actions;
+    /// Fabric-priming targets (destination + chain SEs).
+    std::vector<std::tuple<MacAddress, Ipv4Address, DatapathId>> prime;
+    /// Per-flow-granularity redirects re-balance on every setup and must
+    /// not be memoized.
+    bool cacheable = true;
+  };
+
+  struct DecisionKey {
+    pkt::FlowKey cls;
+    DatapathId dpid = 0;
+    PortId in_port = kInvalidPort;
+    bool operator==(const DecisionKey&) const = default;
+  };
+  struct DecisionKeyHash {
+    std::size_t operator()(const DecisionKey& k) const noexcept {
+      return static_cast<std::size_t>(
+          hash_combine(hash_combine(k.cls.hash(), k.dpid), k.in_port));
+    }
+  };
+
+  /// Everything a memoized decision depends on. Any component moving means
+  /// the whole cache is flushed (invalidation is rare; per-entry stamps are
+  /// not worth the bytes).
+  struct DecisionStamp {
+    std::uint64_t policy = 0;
+    std::uint64_t routing = 0;
+    std::uint64_t registry = 0;
+    std::uint64_t epoch = 0;
+    bool operator==(const DecisionStamp&) const = default;
+  };
+
+  /// One parked flow setup waiting for a missing precondition (host
+  /// location, LS uplink). Duplicate packet-ins pile into `waiters` instead
+  /// of recomputing; on completion the first waiter re-runs the setup and
+  /// the rest are released through the installed ingress actions.
+  struct PendingSetup {
+    struct Waiter {
+      DatapathId dpid = 0;
+      PortId in_port = kInvalidPort;
+      std::uint32_t buffer_id = 0;
+    };
+    std::vector<Waiter> waiters;
+    pkt::PacketPtr packet;  // first packet, for the retry
+    SimTime parked_at = 0;
+  };
+
+  static pkt::FlowKey decision_class(const pkt::FlowKey& key);
+  DecisionStamp current_stamp() const;
+  /// Flushes the cache when any stamp component moved since the last check.
+  void validate_decision_cache();
+  /// Computes the full decision for a class (policy, SE chain, per-switch
+  /// templates). nullopt = a precondition is missing (park the setup).
+  std::optional<CachedDecision> build_decision(DatapathId dpid, PortId in_port,
+                                               const pkt::FlowKey& cls, const pkt::FlowKey& key);
+  /// Replays a decision for one concrete flow: patches the templates,
+  /// batches them out, and registers the flow record.
+  void apply_decision(CachedDecision& decision, DatapathId dpid, const of::PacketIn& pin,
+                      const pkt::FlowKey& key);
+  /// Parks a setup whose decision could not be built yet.
+  void park_setup(DatapathId dpid, const of::PacketIn& pin, const pkt::FlowKey& key);
+  /// Retries parked setups touching `mac` (it may have just announced).
+  void retry_pending_for_host(const MacAddress& mac);
+  /// Retries every parked setup (topology knowledge changed).
+  void retry_all_pending();
+  void retry_pending(const std::vector<pkt::FlowKey>& keys);
+  void expire_pending(SimTime now);
+  /// Indexes `key` under both endpoint MACs for O(flows-of-host) teardown.
+  void index_flow_host(const pkt::FlowKey& key, const FlowRecord& record);
+  void unindex_flow_host(const pkt::FlowKey& key, const FlowRecord& record);
+
   // Message handlers.
   void on_packet_in(DatapathId dpid, const of::PacketIn& pin);
   void on_flow_removed(DatapathId dpid, const of::FlowRemoved& removed);
@@ -197,14 +320,12 @@ class Controller : public of::ControllerEndpoint {
 
   // Path installation (paper §III.C.3 and §IV.A).
   struct PathSpec {
-    pkt::FlowKey key;
+    pkt::FlowKey key;  // flow *class* key (templates are per-class)
     HostLocation src;
     HostLocation dst;
     std::vector<const SeRecord*> chain;
-    std::uint32_t buffer_id = of::PacketOut::kNoBuffer;
     SimTime idle_timeout = 0;
     bool notify_ingress_removal = false;
-    std::uint64_t cookie = 0;  // stamped on the ingress entry
   };
 
   /// Uninstalls every entry of one flow and forgets its record. Used when an
@@ -214,12 +335,10 @@ class Controller : public of::ControllerEndpoint {
   std::size_t teardown_flows_through_se(std::uint64_t se_id);
   /// Tears down every active flow whose user is `mac` (ingress side).
   std::size_t teardown_flows_of_host(const MacAddress& mac);
-  /// Computes and pushes every FlowMod for one direction. Appends the
-  /// installed (dpid, match) pairs to `installed`. Returns false if a needed
-  /// LS port is unknown.
-  bool install_path(const PathSpec& spec,
-                    std::vector<std::pair<DatapathId, of::Match>>& installed,
-                    of::ActionList* ingress_actions = nullptr);
+  /// Appends one direction's class-keyed flow-mod templates to `decision`,
+  /// grouped per switch. Nothing is sent — apply_decision() replays the
+  /// templates per flow. Returns false if a needed LS port is unknown.
+  bool build_path(const PathSpec& spec, CachedDecision& decision, bool reverse);
 
   /// Installs a high-priority drop for `key` at its ingress switch.
   void install_drop(DatapathId dpid, PortId in_port, const pkt::FlowKey& key);
@@ -278,6 +397,19 @@ class Controller : public of::ControllerEndpoint {
   std::optional<DhcpPool> dhcp_;
   std::map<DatapathId, PortId> mirror_ports_;
   Stats stats_;
+
+  // --- fast-path state --------------------------------------------------------
+  std::unordered_map<DecisionKey, CachedDecision, DecisionKeyHash> decision_cache_;
+  /// Stamp the cache contents were computed under.
+  DecisionStamp cache_stamp_;
+  /// Controller-local generation: bumped by anything outside the versioned
+  /// tables that cached templates depend on (channel attach, switch
+  /// connect/disconnect, LS-port learning, mirror-port changes).
+  std::uint64_t epoch_ = 0;
+  /// In-flight flow setups, keyed by the concrete forward 9-tuple.
+  std::unordered_map<pkt::FlowKey, PendingSetup> pending_setups_;
+  /// Endpoint MAC -> forward keys of active flows touching it.
+  std::unordered_map<MacAddress, std::unordered_set<pkt::FlowKey>> flows_by_host_;
 };
 
 }  // namespace livesec::ctrl

@@ -47,6 +47,15 @@ class LoadBalancer {
   std::optional<std::uint64_t> assign(ServiceRegistry& registry, svc::ServiceType service,
                                       const pkt::FlowKey& flow, LbGranularity granularity);
 
+  /// Accounts a flow replayed from a memoized decision to its SE, exactly
+  /// as the sticky-pin hit inside assign() would have (min-load accounting
+  /// plus the per-SE counter). Decision caching must not hide flows from
+  /// the balancer's load estimates.
+  void note_cached_assignment(ServiceRegistry& registry, std::uint64_t se_id) {
+    registry.note_assignment(se_id);
+    ++counts_[se_id];
+  }
+
   /// Forgets a flow's pin (flow ended).
   void release_flow(const pkt::FlowKey& flow, svc::ServiceType service);
 

@@ -48,28 +48,72 @@ std::uint32_t PolicyTable::add(Policy policy) {
   auto pos = std::find_if(policies_.begin(), policies_.end(),
                           [&](const Policy& p) { return p.priority < policy.priority; });
   policies_.insert(pos, std::move(policy));
+  index_dirty_ = true;
+  ++version_;
   return id;
 }
 
 bool PolicyTable::remove(std::uint32_t id) {
-  auto it = std::find_if(policies_.begin(), policies_.end(),
-                         [id](const Policy& p) { return p.id == id; });
-  if (it == policies_.end()) return false;
-  policies_.erase(it);
+  ensure_index();
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  policies_.erase(policies_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  index_dirty_ = true;
+  ++version_;
   return true;
 }
 
 const Policy* PolicyTable::find(std::uint32_t id) const {
-  auto it = std::find_if(policies_.begin(), policies_.end(),
-                         [id](const Policy& p) { return p.id == id; });
-  return it == policies_.end() ? nullptr : &*it;
+  ensure_index();
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &policies_[it->second];
+}
+
+void PolicyTable::reindex() const {
+  by_id_.clear();
+  mac_pair_tier_.clear();
+  mac_port_tier_.clear();
+  wildcard_ranks_.clear();
+  for (std::size_t rank = 0; rank < policies_.size(); ++rank) {
+    const Policy& p = policies_[rank];
+    by_id_[p.id] = rank;
+    // A tiered policy must be guaranteed unreachable from any flow key that
+    // hashes to a different bucket: exact MAC predicates give that guarantee,
+    // so (src, dst) pairs and (src, tp_dst) services are tierable and
+    // everything else falls back to the wildcard scan.
+    if (p.src_mac && p.dst_mac) {
+      mac_pair_tier_[{*p.src_mac, *p.dst_mac}].push_back(rank);
+    } else if (p.src_mac && p.tp_dst) {
+      mac_port_tier_[{*p.src_mac, *p.tp_dst}].push_back(rank);
+    } else {
+      wildcard_ranks_.push_back(rank);
+    }
+  }
+  index_dirty_ = false;
 }
 
 const Policy* PolicyTable::lookup(const pkt::FlowKey& key) const {
-  for (const Policy& p : policies_) {
-    if (p.matches(key)) return &p;
+  ensure_index();
+  std::size_t best = policies_.size();
+  // Ranks in every list ascend, so the first match per list is that list's
+  // winner and scanning past the current best can stop early.
+  const auto scan = [&](const std::vector<std::size_t>& ranks) {
+    for (std::size_t rank : ranks) {
+      if (rank >= best) return;
+      if (policies_[rank].matches(key)) {
+        best = rank;
+        return;
+      }
+    }
+  };
+  if (auto it = mac_pair_tier_.find({key.dl_src, key.dl_dst}); it != mac_pair_tier_.end()) {
+    scan(it->second);
   }
-  return nullptr;
+  if (auto it = mac_port_tier_.find({key.dl_src, key.tp_dst}); it != mac_port_tier_.end()) {
+    scan(it->second);
+  }
+  scan(wildcard_ranks_);
+  return best == policies_.size() ? nullptr : &policies_[best];
 }
 
 }  // namespace livesec::ctrl

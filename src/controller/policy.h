@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/ip_address.h"
 #include "common/mac_address.h"
 #include "packet/flow_key.h"
@@ -58,6 +60,15 @@ struct Policy {
 };
 
 /// Ordered policy collection with priority lookup.
+///
+/// Lookup mirrors the switch-side flow table's two-tier design: policies
+/// whose MAC predicates fully pin them to a (src, dst) host pair — or to a
+/// (src, destination port) service — live in exact-match hash tiers, and only
+/// the remaining wildcard policies are scanned linearly. Every list stores
+/// rank-ordered positions in the priority-sorted vector, so taking the
+/// minimum rank across the candidate lists reproduces first-match-by-priority
+/// exactly (property-tested against the linear scan in
+/// tests/test_policy_index_property.cpp).
 class PolicyTable {
  public:
   /// The action applied when no policy matches.
@@ -67,21 +78,75 @@ class PolicyTable {
   /// Adds a policy; id 0 gets an auto-assigned id. Returns the id.
   std::uint32_t add(Policy policy);
   bool remove(std::uint32_t id);
+
+  /// O(1) id lookup. The returned pointer is invalidated by the next add()
+  /// or remove() — both reorder the underlying vector. Copy the policy out
+  /// before mutating the table.
   const Policy* find(std::uint32_t id) const;
 
   /// The winning policy for a flow, or nullptr (=> default action).
   const Policy* lookup(const pkt::FlowKey& key) const;
 
   PolicyAction default_action() const { return default_action_; }
-  void set_default_action(PolicyAction action) { default_action_ = action; }
+  void set_default_action(PolicyAction action) {
+    default_action_ = action;
+    ++version_;
+  }
+
+  /// Bumped on every mutation (add/remove/set_default_action). Decision
+  /// caches compare this to detect that their memoized lookups went stale.
+  std::uint64_t version() const { return version_; }
 
   std::size_t size() const { return policies_.size(); }
   const std::vector<Policy>& policies() const { return policies_; }
 
  private:
+  /// Hash key of the (src MAC, dst MAC) exact tier.
+  struct MacPairKey {
+    MacAddress src;
+    MacAddress dst;
+    bool operator==(const MacPairKey&) const = default;
+  };
+  struct MacPairHash {
+    std::size_t operator()(const MacPairKey& k) const noexcept {
+      return static_cast<std::size_t>(
+          hash_combine(std::hash<MacAddress>{}(k.src), std::hash<MacAddress>{}(k.dst)));
+    }
+  };
+  /// Hash key of the (src MAC, tp_dst) exact tier.
+  struct MacPortKey {
+    MacAddress src;
+    std::uint16_t tp_dst = 0;
+    bool operator==(const MacPortKey&) const = default;
+  };
+  struct MacPortHash {
+    std::size_t operator()(const MacPortKey& k) const noexcept {
+      return static_cast<std::size_t>(hash_combine(std::hash<MacAddress>{}(k.src), k.tp_dst));
+    }
+  };
+
+  /// Rebuilds every index from policies_. Deferred: mutations only mark the
+  /// indexes dirty, and the first lookup/find after a mutation burst pays one
+  /// O(n) rebuild instead of one per add (policy pushes arrive in batches).
+  void reindex() const;
+  void ensure_index() const {
+    if (index_dirty_) reindex();
+  }
+
   PolicyAction default_action_;
   std::uint32_t next_id_ = 1;
+  std::uint64_t version_ = 0;
   std::vector<Policy> policies_;  // kept sorted by (priority desc, insertion asc)
+
+  // The indexes are a cache over policies_, rebuilt lazily from const
+  // accessors, hence mutable.
+  mutable bool index_dirty_ = false;
+  mutable std::unordered_map<std::uint32_t, std::size_t> by_id_;
+  /// Exact tiers and the wildcard fallback: ascending positions (= ranks)
+  /// into policies_. A policy lives in exactly one of the three.
+  mutable std::unordered_map<MacPairKey, std::vector<std::size_t>, MacPairHash> mac_pair_tier_;
+  mutable std::unordered_map<MacPortKey, std::vector<std::size_t>, MacPortHash> mac_port_tier_;
+  mutable std::vector<std::size_t> wildcard_ranks_;
 };
 
 }  // namespace livesec::ctrl

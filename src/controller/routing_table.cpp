@@ -15,6 +15,7 @@ bool RoutingTable::learn(const MacAddress& mac, Ipv4Address ip, DatapathId dpid,
     loc.last_seen = now;
     by_mac_.emplace(mac, loc);
     if (!ip.is_zero()) by_ip_[ip] = mac;
+    ++version_;
     return true;
   }
   HostLocation& loc = it->second;
@@ -27,6 +28,7 @@ bool RoutingTable::learn(const MacAddress& mac, Ipv4Address ip, DatapathId dpid,
   loc.dpid = dpid;
   loc.port = port;
   loc.last_seen = now;
+  if (moved) ++version_;
   return moved;
 }
 
@@ -51,6 +53,7 @@ bool RoutingTable::remove(const MacAddress& mac) {
   if (it == by_mac_.end()) return false;
   by_ip_.erase(it->second.ip);
   by_mac_.erase(it);
+  ++version_;
   return true;
 }
 
@@ -65,6 +68,7 @@ std::vector<HostLocation> RoutingTable::expire(SimTime now) {
       ++it;
     }
   }
+  if (!removed.empty()) ++version_;
   return removed;
 }
 
@@ -79,6 +83,7 @@ std::vector<HostLocation> RoutingTable::remove_switch(DatapathId dpid) {
       ++it;
     }
   }
+  if (!removed.empty()) ++version_;
   return removed;
 }
 

@@ -55,8 +55,14 @@ class RoutingTable {
   std::size_t size() const { return by_mac_.size(); }
   std::vector<HostLocation> all() const;
 
+  /// Bumped whenever a location mapping changes (new host, move, removal,
+  /// expiry) — NOT on touch(). Decision caches compare this to detect that
+  /// a memoized path went stale.
+  std::uint64_t version() const { return version_; }
+
  private:
   SimTime timeout_;
+  std::uint64_t version_ = 0;
   std::unordered_map<MacAddress, HostLocation> by_mac_;
   std::unordered_map<Ipv4Address, MacAddress> by_ip_;
 };

@@ -11,6 +11,9 @@ bool ServiceRegistry::handle_online(std::uint64_t se_id, const MacAddress& mac, 
   if (fresh) {
     record.se_id = se_id;
     record.first_seen = now;
+    ++version_;
+  } else if (record.dpid != dpid || record.port != port || record.mac != mac) {
+    ++version_;  // migrated: steered paths to the old attachment are stale
   }
   record.mac = mac;
   record.ip = ip;
@@ -48,7 +51,11 @@ std::vector<const SeRecord*> ServiceRegistry::pool(svc::ServiceType service) con
   return out;
 }
 
-bool ServiceRegistry::remove(std::uint64_t se_id) { return records_.erase(se_id) > 0; }
+bool ServiceRegistry::remove(std::uint64_t se_id) {
+  if (records_.erase(se_id) == 0) return false;
+  ++version_;
+  return true;
+}
 
 std::vector<SeRecord> ServiceRegistry::expire(SimTime now) {
   std::vector<SeRecord> removed;
@@ -60,6 +67,7 @@ std::vector<SeRecord> ServiceRegistry::expire(SimTime now) {
       ++it;
     }
   }
+  if (!removed.empty()) ++version_;
   return removed;
 }
 

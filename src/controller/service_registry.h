@@ -74,8 +74,14 @@ class ServiceRegistry {
   std::size_t size() const { return records_.size(); }
   std::vector<const SeRecord*> all() const;
 
+  /// Bumped when the SE pool changes shape (fresh SE, migration, removal,
+  /// expiry) — NOT on heartbeat refreshes. Decision caches compare this to
+  /// detect stale SE assignments.
+  std::uint64_t version() const { return version_; }
+
  private:
   SimTime timeout_;
+  std::uint64_t version_ = 0;
   std::map<std::uint64_t, SeRecord> records_;
 };
 

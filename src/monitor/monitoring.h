@@ -16,6 +16,28 @@
 
 namespace livesec::mon {
 
+/// Observability counters of the controller's flow-setup fast path: how the
+/// decision cache and the pending-setup (packet-in suppression) table are
+/// behaving. Embedded in Controller::Stats and surfaced by the WebUI stats
+/// block, so operators can see whether the control plane is absorbing
+/// packet-in load or recomputing every flow.
+struct FastPathCounters {
+  std::uint64_t decision_cache_hits = 0;
+  std::uint64_t decision_cache_misses = 0;
+  /// Cache-wide flushes caused by policy/topology/SE/host state changes.
+  std::uint64_t decision_cache_invalidations = 0;
+  /// Packet-ins absorbed because a setup for the same flow was in flight.
+  std::uint64_t suppressed_packet_ins = 0;
+  /// Setups parked waiting for a missing host location or LS uplink.
+  std::uint64_t pending_setups_parked = 0;
+  /// Parked setups that later completed (host announced / link discovered).
+  std::uint64_t pending_setups_completed = 0;
+  /// Parked setups dropped by the bound or the housekeeping timeout.
+  std::uint64_t pending_setups_expired = 0;
+  /// Flow-mods delivered inside FlowModBatch messages.
+  std::uint64_t batched_flow_mods = 0;
+};
+
 /// Per-user, per-application usage counters fed by protocol-identification
 /// event reports.
 class ServiceAwareMonitor {

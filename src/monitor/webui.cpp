@@ -74,6 +74,24 @@ std::string WebUi::snapshot_json(SimTime events_from, SimTime events_to) const {
   out << "],";
 
   out << "\"full_mesh\":" << (topo.full_mesh() ? "true" : "false") << ",";
+
+  // Control-plane health: how the flow-setup fast path is absorbing load.
+  const auto& stats = controller_->stats();
+  const auto& fp = stats.fastpath;
+  out << "\"stats\":{"
+      << "\"packet_ins\":" << stats.packet_ins
+      << ",\"flows_installed\":" << stats.flows_installed
+      << ",\"decision_cache_hits\":" << fp.decision_cache_hits
+      << ",\"decision_cache_misses\":" << fp.decision_cache_misses
+      << ",\"decision_cache_invalidations\":" << fp.decision_cache_invalidations
+      << ",\"decision_cache_size\":" << controller_->decision_cache_size()
+      << ",\"suppressed_packet_ins\":" << fp.suppressed_packet_ins
+      << ",\"pending_setups\":" << controller_->pending_setup_count()
+      << ",\"pending_setups_parked\":" << fp.pending_setups_parked
+      << ",\"pending_setups_completed\":" << fp.pending_setups_completed
+      << ",\"pending_setups_expired\":" << fp.pending_setups_expired
+      << ",\"batched_flow_mods\":" << fp.batched_flow_mods << "},";
+
   out << "\"events\":" << controller_->events().to_json(events_from, events_to);
   out << "}";
   return out.str();
@@ -121,6 +139,19 @@ std::string WebUi::snapshot_text(SimTime events_from, SimTime events_to) const {
         << static_cast<int>(se->last_report.cpu_percent)
         << "% pps=" << se->last_report.packets_per_second << "\n";
   }
+
+  out << "--- control plane ---\n";
+  const auto& stats = controller_->stats();
+  const auto& fp = stats.fastpath;
+  out << "  packet-ins: " << stats.packet_ins << " (suppressed " << fp.suppressed_packet_ins
+      << ")\n";
+  out << "  flows installed: " << stats.flows_installed << "\n";
+  out << "  decision cache: " << fp.decision_cache_hits << " hits / " << fp.decision_cache_misses
+      << " misses, " << controller_->decision_cache_size() << " cached, "
+      << fp.decision_cache_invalidations << " flushes\n";
+  out << "  pending setups: " << controller_->pending_setup_count() << " parked ("
+      << fp.pending_setups_completed << " completed, " << fp.pending_setups_expired
+      << " expired)\n";
 
   out << "--- events ---\n";
   controller_->events().replay(events_from, events_to, [&out](const NetworkEvent& e) {

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <string>
 #include <variant>
-#include <vector>
 
 #include "common/mac_address.h"
+#include "common/small_vector.h"
 #include "common/types.h"
 
 namespace livesec::of {
@@ -48,7 +48,9 @@ struct ActionDrop {
 
 using Action = std::variant<ActionOutput, ActionFlood, ActionController, ActionSetDlDst,
                             ActionSetDlSrc, ActionDrop>;
-using ActionList = std::vector<Action>;
+/// Inline capacity 2 covers the overwhelmingly common set-field + output
+/// pair without a heap allocation per copied entry (see SmallVector).
+using ActionList = SmallVector<Action, 2>;
 
 std::string to_string(const Action& action);
 std::string to_string(const ActionList& actions);

@@ -25,8 +25,8 @@ void SecureChannel::disconnect() {
   sim_->schedule(latency_, [this, dpid]() { controller_->handle_switch_disconnected(dpid); });
 }
 
-std::optional<Message> SecureChannel::transport(const Message& message) {
-  if (!wire_encoding_) return message;
+std::optional<Message> SecureChannel::transport(Message&& message) {
+  if (!wire_encoding_) return std::move(message);
   const auto bytes = encode_message(message, next_xid_++);
   auto decoded = decode_message(bytes);
   if (!decoded) {
@@ -38,22 +38,41 @@ std::optional<Message> SecureChannel::transport(const Message& message) {
 
 void SecureChannel::send_to_controller(Message message) {
   if (!connected_) return;
-  auto carried = transport(message);
+  auto carried = transport(std::move(message));
   if (!carried) return;
   ++to_controller_;
-  const DatapathId dpid = switch_->datapath_id();
-  sim_->schedule(latency_, [this, dpid, message = std::move(*carried)]() {
-    controller_->handle_switch_message(dpid, message);
+  outbox_controller_.push_back(std::move(*carried));
+  sim_->schedule(latency_, [this]() {
+    const Message m = std::move(outbox_controller_.front());
+    outbox_controller_.pop_front();
+    controller_->handle_switch_message(switch_->datapath_id(), m);
   });
+}
+
+void SecureChannel::send_frame_to_switch(std::span<const std::uint8_t> frame) {
+  if (!connected_) return;
+  auto decoded = decode_message(frame);
+  if (!decoded) {
+    ++wire_failures_;
+    return;
+  }
+  deliver_to_switch(std::move(decoded->message));
 }
 
 void SecureChannel::send_to_switch(Message message) {
   if (!connected_) return;
-  auto carried = transport(message);
+  auto carried = transport(std::move(message));
   if (!carried) return;
+  deliver_to_switch(std::move(*carried));
+}
+
+void SecureChannel::deliver_to_switch(Message message) {
   ++to_switch_;
-  sim_->schedule(latency_, [this, message = std::move(*carried)]() {
-    switch_->handle_controller_message(message);
+  outbox_switch_.push_back(std::move(message));
+  sim_->schedule(latency_, [this]() {
+    const Message m = std::move(outbox_switch_.front());
+    outbox_switch_.pop_front();
+    switch_->handle_controller_message(m);
   });
 }
 

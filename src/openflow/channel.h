@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 
 #include "common/types.h"
 #include "openflow/messages.h"
@@ -63,19 +65,35 @@ class SecureChannel {
   void send_to_controller(Message message);
   /// Controller -> switch, delivered after the channel latency.
   void send_to_switch(Message message);
+  /// Controller -> switch, from an already-encoded wire frame (a
+  /// preserialized flow-mod template with per-flow fields patched in). The
+  /// frame decodes once here — the per-send encode of the wire_encoding
+  /// round trip is skipped entirely. Malformed frames are dropped and
+  /// counted like any other codec failure.
+  void send_frame_to_switch(std::span<const std::uint8_t> frame);
 
   SimTime latency() const { return latency_; }
   std::uint64_t messages_to_controller() const { return to_controller_; }
   std::uint64_t messages_to_switch() const { return to_switch_; }
 
  private:
-  /// Applies the wire codec round trip when enabled; nullopt = drop.
-  std::optional<Message> transport(const Message& message);
+  /// Applies the wire codec round trip when enabled; nullopt = drop. Takes
+  /// ownership so the no-codec path forwards without copying the variant.
+  std::optional<Message> transport(Message&& message);
+  /// Queues a controller->switch message and schedules its delivery.
+  void deliver_to_switch(Message message);
 
   sim::Simulator* sim_;
   SwitchEndpoint* switch_;
   ControllerEndpoint* controller_;
   SimTime latency_;
+  /// In-flight messages per direction. Delivery order is FIFO because every
+  /// message in a direction travels the same fixed latency; the scheduled
+  /// callback pops the head. Keeping the payload here instead of in the
+  /// callback capture keeps the capture at one pointer, inside
+  /// InlineFunction's no-allocation size.
+  std::deque<Message> outbox_switch_;
+  std::deque<Message> outbox_controller_;
   bool connected_ = false;
   bool wire_encoding_ = false;
   std::uint64_t to_controller_ = 0;

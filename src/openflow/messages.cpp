@@ -14,6 +14,7 @@ const char* message_name(const Message& m) {
     const char* operator()(const PortStatus&) const { return "PortStatus"; }
     const char* operator()(const StatsRequest&) const { return "StatsRequest"; }
     const char* operator()(const StatsReply&) const { return "StatsReply"; }
+    const char* operator()(const FlowModBatch&) const { return "FlowModBatch"; }
   };
   return std::visit(Visitor{}, m);
 }

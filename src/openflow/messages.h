@@ -49,6 +49,14 @@ struct FlowMod {
   std::uint32_t buffer_id = PacketOut::kNoBuffer;
 };
 
+/// Controller -> switch: several FlowMods applied in order, delivered as one
+/// channel message. The reactive fast path sends a flow's whole entry set
+/// (ingress + steering hops + egress, up to the 4-entry redirection chain of
+/// paper §IV.A) per switch in one batch instead of N independent sends.
+struct FlowModBatch {
+  std::vector<FlowMod> mods;
+};
+
 /// Switch -> controller: an entry expired or was deleted.
 struct FlowRemoved {
   Match match;
@@ -100,7 +108,7 @@ struct StatsReply {
 };
 
 using Message = std::variant<PacketIn, PacketOut, FlowMod, FlowRemoved, FeaturesReply, EchoRequest,
-                             EchoReply, PortStatus, StatsRequest, StatsReply>;
+                             EchoReply, PortStatus, StatsRequest, StatsReply, FlowModBatch>;
 
 const char* message_name(const Message& m);
 

@@ -33,6 +33,13 @@ void encode_entry(pkt::BufferWriter& w, const FlowEntry& entry) {
   encode_actions(w, entry.actions);
 }
 
+void encode_flow_mod_body(pkt::BufferWriter& w, const FlowMod& mod) {
+  w.u8(static_cast<std::uint8_t>(mod.command));
+  w.u8(mod.notify_on_removal ? 1 : 0);
+  w.u32(mod.buffer_id);
+  encode_entry(w, mod.entry);
+}
+
 std::optional<FlowEntry> decode_entry(pkt::BufferReader& r) {
   FlowEntry entry;
   auto match = decode_match(r);
@@ -46,6 +53,17 @@ std::optional<FlowEntry> decode_entry(pkt::BufferReader& r) {
   if (!actions) return std::nullopt;
   entry.actions = *actions;
   return entry;
+}
+
+std::optional<FlowMod> decode_flow_mod_body(pkt::BufferReader& r) {
+  FlowMod mod;
+  mod.command = static_cast<FlowModCommand>(r.u8());
+  mod.notify_on_removal = r.u8() != 0;
+  mod.buffer_id = r.u32();
+  auto entry = decode_entry(r);
+  if (!entry) return std::nullopt;
+  mod.entry = *entry;
+  return mod;
 }
 
 void encode_packet_field(pkt::BufferWriter& w, const pkt::PacketPtr& packet) {
@@ -169,8 +187,17 @@ std::optional<ActionList> decode_actions(pkt::BufferReader& r) {
 }
 
 std::vector<std::uint8_t> encode_message(const Message& message, std::uint32_t xid) {
+  return encode_message(message, xid, nullptr);
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message, std::uint32_t xid,
+                                         std::vector<std::size_t>* flow_mod_offsets) {
   pkt::BufferWriter body;
   WireType type;
+  // Body offsets become frame offsets once the fixed-size header prepends.
+  const auto note_mod = [&]() {
+    if (flow_mod_offsets != nullptr) flow_mod_offsets->push_back(kHeaderSize + body.size());
+  };
 
   if (const auto* pin = std::get_if<PacketIn>(&message)) {
     type = WireType::kPacketIn;
@@ -186,10 +213,15 @@ std::vector<std::uint8_t> encode_message(const Message& message, std::uint32_t x
     encode_packet_field(body, pout->packet);
   } else if (const auto* mod = std::get_if<FlowMod>(&message)) {
     type = WireType::kFlowMod;
-    body.u8(static_cast<std::uint8_t>(mod->command));
-    body.u8(mod->notify_on_removal ? 1 : 0);
-    body.u32(mod->buffer_id);
-    encode_entry(body, mod->entry);
+    note_mod();
+    encode_flow_mod_body(body, *mod);
+  } else if (const auto* batch = std::get_if<FlowModBatch>(&message)) {
+    type = WireType::kFlowModBatch;
+    body.u16(static_cast<std::uint16_t>(batch->mods.size()));
+    for (const FlowMod& m : batch->mods) {
+      note_mod();
+      encode_flow_mod_body(body, m);
+    }
   } else if (const auto* removed = std::get_if<FlowRemoved>(&message)) {
     type = WireType::kFlowRemoved;
     encode_match(body, removed->match);
@@ -269,14 +301,21 @@ std::optional<DecodedFrame> decode_message(std::span<const std::uint8_t> frame) 
       break;
     }
     case WireType::kFlowMod: {
-      FlowMod mod;
-      mod.command = static_cast<FlowModCommand>(r.u8());
-      mod.notify_on_removal = r.u8() != 0;
-      mod.buffer_id = r.u32();
-      auto entry = decode_entry(r);
-      if (!entry) return std::nullopt;
-      mod.entry = *entry;
-      out.message = std::move(mod);
+      auto mod = decode_flow_mod_body(r);
+      if (!mod) return std::nullopt;
+      out.message = std::move(*mod);
+      break;
+    }
+    case WireType::kFlowModBatch: {
+      FlowModBatch batch;
+      const std::uint16_t count = r.u16();
+      batch.mods.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        auto mod = decode_flow_mod_body(r);
+        if (!mod) return std::nullopt;
+        batch.mods.push_back(std::move(*mod));
+      }
+      out.message = std::move(batch);
       break;
     }
     case WireType::kFlowRemoved: {

@@ -48,6 +48,29 @@ class BufferWriter {
   std::vector<std::uint8_t> data_;
 };
 
+// In-place big-endian patches over an already-serialized buffer. The flow
+// fast path serializes control messages once and replays them per flow with
+// only the variable fields (ports, cookie, buffer id) rewritten at fixed
+// offsets. Out-of-range offsets are ignored (template/offset mismatch must
+// not corrupt adjacent bytes).
+inline void patch_u16(std::span<std::uint8_t> buffer, std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buffer.size()) return;
+  buffer[offset] = static_cast<std::uint8_t>(v >> 8);
+  buffer[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+inline void patch_u32(std::span<std::uint8_t> buffer, std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buffer.size()) return;
+  patch_u16(buffer, offset, static_cast<std::uint16_t>(v >> 16));
+  patch_u16(buffer, offset + 2, static_cast<std::uint16_t>(v));
+}
+
+inline void patch_u64(std::span<std::uint8_t> buffer, std::size_t offset, std::uint64_t v) {
+  if (offset + 8 > buffer.size()) return;
+  patch_u32(buffer, offset, static_cast<std::uint32_t>(v >> 32));
+  patch_u32(buffer, offset + 4, static_cast<std::uint32_t>(v));
+}
+
 /// Sequential reader over big-endian bytes. All reads are bounds-checked:
 /// reading past the end sets a sticky error flag and returns zeros, so codecs
 /// can parse optimistically and check `ok()` once at the end.

@@ -1,6 +1,6 @@
 #include "packet/flow_key.h"
 
-#include <sstream>
+#include "common/format_util.h"
 
 namespace livesec::pkt {
 
@@ -40,20 +40,6 @@ FlowKey FlowKey::reversed() const {
   return k;
 }
 
-std::uint64_t FlowKey::hash() const {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  h = hash_combine(h, vlan_id);
-  h = hash_combine(h, dl_src.to_uint64());
-  h = hash_combine(h, dl_dst.to_uint64());
-  h = hash_combine(h, dl_type);
-  h = hash_combine(h, nw_src.value());
-  h = hash_combine(h, nw_dst.value());
-  h = hash_combine(h, nw_proto);
-  h = hash_combine(h, tp_src);
-  h = hash_combine(h, tp_dst);
-  return splitmix64(h);
-}
-
 void FlowKey::encode(BufferWriter& w) const {
   w.u16(vlan_id);
   w.bytes(dl_src.bytes());
@@ -85,16 +71,64 @@ FlowKey FlowKey::decode(BufferReader& r) {
   return k;
 }
 
-std::string FlowKey::to_string() const {
-  std::ostringstream out;
-  out << "[" << dl_src.to_string() << ">" << dl_dst.to_string();
-  if (vlan_id != kVlanNone) out << " vlan=" << vlan_id;
-  if (dl_type == static_cast<std::uint16_t>(EtherType::kIpv4)) {
-    out << " " << nw_src.to_string() << ":" << tp_src << ">" << nw_dst.to_string() << ":" << tp_dst
-        << " proto=" << static_cast<int>(nw_proto);
+namespace {
+int format_mac(char* out, const MacAddress& mac) {
+  const auto& b = mac.bytes();
+  int len = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i != 0) out[len++] = ':';
+    len += format_hex_byte(out + len, b[static_cast<std::size_t>(i)]);
   }
-  out << "]";
-  return out.str();
+  return len;
+}
+int format_ip(char* out, Ipv4Address ip) {
+  const std::uint32_t v = ip.value();
+  int len = 0;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out[len++] = '.';
+    len += format_u32_dec(out + len, (v >> shift) & 0xFF);
+  }
+  return len;
+}
+int format_literal(char* out, const char* text) {
+  int len = 0;
+  while (text[len] != '\0') {
+    out[len] = text[len];
+    ++len;
+  }
+  return len;
+}
+}  // namespace
+
+std::string FlowKey::to_string() const {
+  // Formats straight into one stack buffer with the format_util helpers:
+  // this renders once per flow event on the setup path, where an
+  // ostringstream (or even snprintf's vfprintf machinery) is measurably
+  // expensive. Worst case is 102 characters, so buf cannot overflow.
+  char buf[112];
+  int len = 0;
+  buf[len++] = '[';
+  len += format_mac(buf + len, dl_src);
+  buf[len++] = '>';
+  len += format_mac(buf + len, dl_dst);
+  if (vlan_id != kVlanNone) {
+    len += format_literal(buf + len, " vlan=");
+    len += format_u32_dec(buf + len, vlan_id);
+  }
+  if (dl_type == static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    buf[len++] = ' ';
+    len += format_ip(buf + len, nw_src);
+    buf[len++] = ':';
+    len += format_u32_dec(buf + len, tp_src);
+    buf[len++] = '>';
+    len += format_ip(buf + len, nw_dst);
+    buf[len++] = ':';
+    len += format_u32_dec(buf + len, tp_dst);
+    len += format_literal(buf + len, " proto=");
+    len += format_u32_dec(buf + len, nw_proto);
+  }
+  buf[len++] = ']';
+  return std::string(buf, static_cast<std::size_t>(len));
 }
 
 }  // namespace livesec::pkt

@@ -37,7 +37,24 @@ struct FlowKey {
   /// table to pre-install the reply flow, paper §III.C.3).
   FlowKey reversed() const;
 
-  std::uint64_t hash() const;
+  /// Hot-path hash: the nine fields packed into four 64-bit words and mixed.
+  /// Keyed hash tables on FlowKey sit on the per-packet-in flow-setup path,
+  /// so this is inline and word-oriented instead of field-by-field.
+  std::uint64_t hash() const {
+    const std::uint64_t w0 = dl_src.to_uint64() | (static_cast<std::uint64_t>(vlan_id) << 48);
+    const std::uint64_t w1 = dl_dst.to_uint64() | (static_cast<std::uint64_t>(dl_type) << 48);
+    const std::uint64_t w2 =
+        (static_cast<std::uint64_t>(nw_src.value()) << 32) | nw_dst.value();
+    const std::uint64_t w3 = (static_cast<std::uint64_t>(nw_proto) << 32) |
+                             (static_cast<std::uint64_t>(tp_src) << 16) | tp_dst;
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = hash_combine(h, w0);
+    h = hash_combine(h, w1);
+    h = hash_combine(h, w2);
+    h = hash_combine(h, w3);
+    return splitmix64(h);
+  }
+
   std::string to_string() const;
 
   /// Fixed-size wire encoding (29 bytes) used by daemon messages and the

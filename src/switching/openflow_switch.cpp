@@ -149,34 +149,47 @@ pkt::PacketPtr OpenFlowSwitch::take_buffered(std::uint32_t buffer_id) {
   return nullptr;
 }
 
+void OpenFlowSwitch::apply_flow_mod(const of::FlowMod& fm) {
+  switch (fm.command) {
+    case of::FlowModCommand::kAdd:
+      table_.add(fm.entry, simulator().now());
+      break;
+    case of::FlowModCommand::kModifyStrict:
+      table_.modify_strict(fm.entry.match, fm.entry.priority, fm.entry.actions);
+      break;
+    case of::FlowModCommand::kDeleteStrict:
+      table_.remove_strict(fm.entry.match, fm.entry.priority, simulator().now());
+      break;
+    case of::FlowModCommand::kDelete:
+      table_.remove_matching(fm.entry.match, simulator().now());
+      break;
+  }
+}
+
+void OpenFlowSwitch::release_buffered(std::uint32_t buffer_id) {
+  if (buffer_id == of::PacketOut::kNoBuffer) return;
+  // Release the parked packet through the (possibly new) table.
+  for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+    if (it->id == buffer_id) {
+      PortId in_port = it->in_port;
+      pkt::PacketPtr p = std::move(it->packet);
+      buffers_.erase(it);
+      process(in_port, std::move(p));
+      break;
+    }
+  }
+}
+
 void OpenFlowSwitch::handle_controller_message(const of::Message& message) {
   if (const auto* fm = std::get_if<of::FlowMod>(&message)) {
-    switch (fm->command) {
-      case of::FlowModCommand::kAdd:
-        table_.add(fm->entry, simulator().now());
-        break;
-      case of::FlowModCommand::kModifyStrict:
-        table_.modify_strict(fm->entry.match, fm->entry.priority, fm->entry.actions);
-        break;
-      case of::FlowModCommand::kDeleteStrict:
-        table_.remove_strict(fm->entry.match, fm->entry.priority, simulator().now());
-        break;
-      case of::FlowModCommand::kDelete:
-        table_.remove_matching(fm->entry.match, simulator().now());
-        break;
-    }
-    if (fm->buffer_id != of::PacketOut::kNoBuffer) {
-      // Release the parked packet through the (possibly new) table.
-      for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
-        if (it->id == fm->buffer_id) {
-          PortId in_port = it->in_port;
-          pkt::PacketPtr p = std::move(it->packet);
-          buffers_.erase(it);
-          process(in_port, std::move(p));
-          break;
-        }
-      }
-    }
+    apply_flow_mod(*fm);
+    release_buffered(fm->buffer_id);
+  } else if (const auto* batch = std::get_if<of::FlowModBatch>(&message)) {
+    // Batched install: every mod lands in the table before any buffered
+    // packet is released, so a release through the ingress entry already
+    // sees the switch's complete share of the path.
+    for (const of::FlowMod& mod : batch->mods) apply_flow_mod(mod);
+    for (const of::FlowMod& mod : batch->mods) release_buffered(mod.buffer_id);
   } else if (const auto* po = std::get_if<of::PacketOut>(&message)) {
     pkt::PacketPtr packet =
         po->buffer_id == of::PacketOut::kNoBuffer ? po->packet : take_buffered(po->buffer_id);

@@ -68,6 +68,10 @@ class OpenFlowSwitch : public sim::Node, public of::SwitchEndpoint {
 
  private:
   void process(PortId in_port, pkt::PacketPtr packet);
+  /// Applies one flow-mod's table mutation (no buffered-packet release).
+  void apply_flow_mod(const of::FlowMod& fm);
+  /// Releases a parked packet through the current table, if `buffer_id` set.
+  void release_buffered(std::uint32_t buffer_id);
   void execute_actions(const of::ActionList& actions, PortId in_port, pkt::PacketPtr packet);
   void punt_to_controller(PortId in_port, pkt::PacketPtr packet);
   pkt::PacketPtr take_buffered(std::uint32_t buffer_id);

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "common/hash.h"
+#include "common/small_vector.h"
 #include "common/ip_address.h"
 #include "common/mac_address.h"
 #include "common/random.h"
@@ -127,6 +129,69 @@ TEST(Types, RateFormatting) {
   EXPECT_EQ(format_rate_bps(500), "500 bps");
   EXPECT_EQ(format_rate_bps(43e6), "43.00 Mbps");
   EXPECT_EQ(format_rate_bps(8.1e9), "8.10 Gbps");
+}
+
+TEST(SmallVector, StaysInlineWithinCapacityAndSpillsBeyond) {
+  SmallVector<int, 2> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.capacity(), 2u);  // still in the inline slots
+  v.push_back(3);               // forces the heap spill
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_GT(v.capacity(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVector, CopyAndMovePreserveElements) {
+  // Non-trivial element type: copies/moves must run real ctors/dtors.
+  SmallVector<std::string, 2> v{"alpha", "beta", "gamma"};
+  SmallVector<std::string, 2> copy = v;
+  EXPECT_EQ(copy, v);
+
+  SmallVector<std::string, 2> moved = std::move(copy);
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[2], "gamma");
+
+  SmallVector<std::string, 2> assigned;
+  assigned.push_back("overwritten");
+  assigned = v;
+  EXPECT_EQ(assigned, v);
+  assigned = SmallVector<std::string, 2>{"solo"};
+  ASSERT_EQ(assigned.size(), 1u);
+  EXPECT_EQ(assigned[0], "solo");
+
+  // Inline-to-inline move: elements transfer one by one.
+  SmallVector<std::string, 4> small{"x", "y"};
+  SmallVector<std::string, 4> stolen = std::move(small);
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0], "x");
+  EXPECT_EQ(stolen[1], "y");
+}
+
+TEST(SmallVector, InsertAndClear) {
+  SmallVector<int, 2> v{10, 30};
+  v.insert(v.begin() + 1, 20);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v[2], 30);
+  v.insert(v.begin(), 5);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[3], 30);
+
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 65);
+
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);  // usable after clear
+  EXPECT_EQ(v.back(), 7);
 }
 
 }  // namespace

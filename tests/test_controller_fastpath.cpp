@@ -1,0 +1,299 @@
+// Control-plane fast-path regressions: the flow-decision cache must never
+// replay a decision whose inputs changed (policy mutation, host move, SE
+// offline, switch disconnect), duplicate packet-ins must collapse into one
+// computation, and the fast-path counters must surface all of it.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "controller/controller.h"
+#include "openflow/channel.h"
+#include "packet/packet.h"
+#include "services/message.h"
+#include "services/service_element.h"
+#include "sim/simulator.h"
+#include "topology/lldp.h"
+
+namespace livesec {
+namespace {
+
+/// Records every FlowMod (batched ones flattened) and PacketOut the
+/// controller pushes, so tests can count installs and buffered releases.
+class RecordingSwitch : public of::SwitchEndpoint {
+ public:
+  explicit RecordingSwitch(DatapathId dpid) : dpid_(dpid) {}
+  DatapathId datapath_id() const override { return dpid_; }
+  void handle_controller_message(const of::Message& m) override {
+    if (const auto* fm = std::get_if<of::FlowMod>(&m)) {
+      flow_mods.push_back(*fm);
+    } else if (const auto* batch = std::get_if<of::FlowModBatch>(&m)) {
+      flow_mods.insert(flow_mods.end(), batch->mods.begin(), batch->mods.end());
+    } else if (std::get_if<of::PacketOut>(&m) != nullptr) {
+      ++packet_outs;
+    }
+  }
+
+  std::size_t adds() const {
+    std::size_t n = 0;
+    for (const auto& fm : flow_mods) {
+      if (fm.command == of::FlowModCommand::kAdd) ++n;
+    }
+    return n;
+  }
+
+  std::vector<of::FlowMod> flow_mods;
+  std::size_t packet_outs = 0;
+
+ private:
+  DatapathId dpid_;
+};
+
+pkt::PacketPtr gratuitous_arp(MacAddress mac, Ipv4Address ip) {
+  return pkt::PacketBuilder()
+      .eth(mac, MacAddress::from_uint64(0xFFFFFFFFFFFFull))
+      .arp(pkt::ArpOp::kRequest, mac, ip, MacAddress{}, ip)
+      .finalize();
+}
+
+/// Two AS switches wired straight to a controller through recording
+/// channels. Runs the clock in bounded steps so it stays usable after
+/// start_housekeeping() makes the event queue self-refilling.
+struct FastPathHarness {
+  sim::Simulator sim;
+  ctrl::Controller controller{sim};
+  RecordingSwitch sw1{1};
+  RecordingSwitch sw2{2};
+  of::SecureChannel ch1{sim, sw1, controller, 10 * kMicrosecond};
+  of::SecureChannel ch2{sim, sw2, controller, 10 * kMicrosecond};
+
+  MacAddress alice_mac = MacAddress::from_uint64(0xA11CE);
+  MacAddress bob_mac = MacAddress::from_uint64(0xB0B);
+  Ipv4Address alice_ip{10, 0, 0, 1};
+  Ipv4Address bob_ip{10, 0, 0, 2};
+
+  FastPathHarness() {
+    controller.attach_channel(1, ch1);
+    controller.attach_channel(2, ch2);
+    ch1.connect(of::FeaturesReply{1, 8, "sw1"});
+    ch2.connect(of::FeaturesReply{2, 8, "sw2"});
+    settle();
+  }
+
+  void settle() { sim.run_until(sim.now() + 100 * kMillisecond); }
+
+  void packet_in(of::SecureChannel& ch, PortId in_port, pkt::PacketPtr packet) {
+    of::PacketIn pin;
+    pin.in_port = in_port;
+    pin.packet = std::move(packet);
+    ch.send_to_controller(std::move(pin));
+    settle();
+  }
+
+  void lldp(of::SecureChannel& ch, PortId in_port, DatapathId peer, PortId peer_port) {
+    topo::LldpInfo info;
+    info.chassis_id = peer;
+    info.port_id = peer_port;
+    packet_in(ch, in_port, pkt::finalize(info.to_packet()));
+  }
+
+  /// Discovers the LS uplinks and announces both hosts.
+  void bring_up() {
+    lldp(ch1, 3, 2, 4);
+    lldp(ch2, 4, 1, 3);
+    packet_in(ch1, 0, gratuitous_arp(alice_mac, alice_ip));
+    packet_in(ch2, 0, gratuitous_arp(bob_mac, bob_ip));
+  }
+
+  pkt::PacketPtr flow_packet(std::uint16_t tp_src) {
+    return pkt::PacketBuilder()
+        .eth(alice_mac, bob_mac)
+        .ipv4(alice_ip, bob_ip, pkt::IpProto::kUdp)
+        .udp(tp_src, 80)
+        .finalize();
+  }
+
+  void start_flow(std::uint16_t tp_src) { packet_in(ch1, 0, flow_packet(tp_src)); }
+
+  /// Certified SE online announcement arriving as a daemon packet-in.
+  void se_online(std::uint64_t se_id, of::SecureChannel& ch, PortId port, MacAddress mac,
+                 Ipv4Address ip) {
+    svc::OnlineMessage online;
+    online.service = svc::ServiceType::kIntrusionDetection;
+    online.capacity_bps = 1'000'000'000;
+    svc::DaemonMessage message;
+    message.se_id = se_id;
+    message.cert_token = controller.certification().issue(se_id);
+    message.body = online;
+    auto p = pkt::PacketBuilder()
+                 .eth(mac, svc::controller_service_mac())
+                 .ipv4(ip, svc::controller_service_ip(), pkt::IpProto::kUdp)
+                 .udp(svc::kLiveSecPort, svc::kLiveSecPort)
+                 .payload(pkt::make_payload(message.encode()))
+                 .finalize();
+    packet_in(ch, port, std::move(p));
+  }
+
+  const mon::FastPathCounters& counters() const { return controller.stats().fastpath; }
+};
+
+TEST(ControllerFastPath, CountersTrackHitsAndMisses) {
+  FastPathHarness net;
+  net.bring_up();
+
+  net.start_flow(1000);
+  EXPECT_EQ(net.counters().decision_cache_misses, 1u);
+  EXPECT_EQ(net.counters().decision_cache_hits, 0u);
+  EXPECT_EQ(net.controller.decision_cache_size(), 1u);
+
+  // Same class (only tp_src differs): served from the cache.
+  net.start_flow(1001);
+  net.start_flow(1002);
+  EXPECT_EQ(net.counters().decision_cache_misses, 1u);
+  EXPECT_EQ(net.counters().decision_cache_hits, 2u);
+  EXPECT_EQ(net.controller.decision_cache_size(), 1u);
+  EXPECT_EQ(net.controller.stats().flows_installed, 3u);
+}
+
+TEST(ControllerFastPath, PolicyMutationInvalidatesCachedDecision) {
+  FastPathHarness net;
+  net.bring_up();
+  net.start_flow(1000);
+  net.start_flow(1001);
+  ASSERT_EQ(net.counters().decision_cache_hits, 1u);
+
+  // Adding a deny that matches the class must flush the cached allow: the
+  // next flow of the class is denied, not installed from the stale entry.
+  ctrl::Policy deny;
+  deny.priority = 50;
+  deny.tp_dst = 80;
+  deny.action = ctrl::PolicyAction::kDeny;
+  const std::uint32_t deny_id = net.controller.policies().add(deny);
+  net.start_flow(1002);
+  EXPECT_EQ(net.counters().decision_cache_invalidations, 1u);
+  EXPECT_EQ(net.counters().decision_cache_hits, 1u);  // no replay
+  EXPECT_EQ(net.controller.stats().flows_denied, 1u);
+  EXPECT_EQ(net.controller.stats().flows_installed, 2u);
+
+  // Removing the deny must flush again: the class is allowed once more.
+  ASSERT_TRUE(net.controller.policies().remove(deny_id));
+  net.start_flow(1003);
+  EXPECT_EQ(net.counters().decision_cache_invalidations, 2u);
+  EXPECT_EQ(net.controller.stats().flows_installed, 3u);
+}
+
+TEST(ControllerFastPath, HostMoveInvalidatesCachedDecision) {
+  FastPathHarness net;
+  net.bring_up();
+  net.start_flow(1000);
+  net.start_flow(1001);
+  ASSERT_EQ(net.counters().decision_cache_hits, 1u);
+
+  // Bob re-attaches on sw1 port 6. The cached route (via the LS uplink to
+  // sw2) is stale; a replay would strand the flow on the old path.
+  net.packet_in(net.ch1, 6, gratuitous_arp(net.bob_mac, net.bob_ip));
+  net.sw1.flow_mods.clear();
+  net.sw2.flow_mods.clear();
+  net.start_flow(1002);
+  EXPECT_GE(net.counters().decision_cache_invalidations, 1u);
+  EXPECT_EQ(net.counters().decision_cache_hits, 1u);  // recomputed, not replayed
+  // Both endpoints now hang off sw1: the new path must not touch sw2.
+  EXPECT_GT(net.sw1.adds(), 0u);
+  EXPECT_EQ(net.sw2.adds(), 0u);
+}
+
+TEST(ControllerFastPath, SeOfflineInvalidatesCachedDecision) {
+  FastPathHarness net;
+  ctrl::Policy redirect;
+  redirect.priority = 50;
+  redirect.tp_dst = 80;
+  redirect.action = ctrl::PolicyAction::kRedirect;
+  redirect.service_chain = {svc::ServiceType::kIntrusionDetection};
+  redirect.granularity = ctrl::LbGranularity::kPerUser;  // memoizable chain
+  net.controller.policies().add(redirect);
+  net.bring_up();
+  net.se_online(7, net.ch2, 5, MacAddress::from_uint64(0x5E), Ipv4Address(10, 0, 0, 100));
+
+  net.start_flow(1000);
+  net.start_flow(1001);
+  ASSERT_EQ(net.counters().decision_cache_hits, 1u);
+  ASSERT_EQ(net.controller.stats().flows_redirected, 2u);
+
+  // Let liveness housekeeping expire the silent SE (timeout 6s).
+  net.controller.start_housekeeping();
+  net.sim.run_until(net.sim.now() + 10 * kSecond);
+  ASSERT_FALSE(net.controller.events()
+                   .query_type(mon::EventType::kSeOffline, 0, INT64_MAX)
+                   .empty());
+
+  // The cached chain through the dead SE must not be replayed: the policy
+  // fails open and the flow installs without redirection.
+  net.start_flow(1002);
+  EXPECT_GE(net.counters().decision_cache_invalidations, 1u);
+  EXPECT_EQ(net.counters().decision_cache_hits, 1u);
+  EXPECT_EQ(net.controller.stats().flows_redirected, 2u);
+  EXPECT_EQ(net.controller.stats().flows_installed, 3u);
+}
+
+TEST(ControllerFastPath, SwitchDisconnectInvalidatesCachedDecision) {
+  FastPathHarness net;
+  net.bring_up();
+  net.start_flow(1000);
+  net.start_flow(1001);
+  ASSERT_EQ(net.counters().decision_cache_hits, 1u);
+
+  // Bob's switch dies. Its hosts are forgotten and the cached path through
+  // it is invalid; a replay would install entries toward a dead datapath.
+  net.ch2.disconnect();
+  net.settle();
+  net.sw1.flow_mods.clear();
+  net.start_flow(1002);
+  EXPECT_EQ(net.counters().decision_cache_hits, 1u);  // no replay
+  EXPECT_EQ(net.sw1.adds(), 0u);
+  // With the destination unknown again, the setup parks instead.
+  EXPECT_EQ(net.controller.pending_setup_count(), 1u);
+  EXPECT_EQ(net.controller.stats().flows_installed, 2u);
+}
+
+TEST(ControllerFastPath, DuplicatePacketInsCollapseIntoOneSetup) {
+  FastPathHarness net;
+  net.lldp(net.ch1, 3, 2, 4);
+  net.lldp(net.ch2, 4, 1, 3);
+  net.packet_in(net.ch1, 0, gratuitous_arp(net.alice_mac, net.alice_ip));
+
+  // Baseline: a fully-known flow, to learn how many adds one setup emits.
+  net.packet_in(net.ch2, 0, gratuitous_arp(net.bob_mac, net.bob_ip));
+  net.start_flow(2000);
+  const std::size_t adds_per_setup = net.sw1.adds() + net.sw2.adds();
+  ASSERT_GT(adds_per_setup, 0u);
+  net.sw1.flow_mods.clear();
+  net.sw2.flow_mods.clear();
+  net.sw1.packet_outs = 0;
+
+  // An unknown destination parks the first packet-in; the two retransmits
+  // must be absorbed by the pending entry, not recomputed.
+  const MacAddress carol_mac = MacAddress::from_uint64(0xCA01);
+  const Ipv4Address carol_ip{10, 0, 0, 3};
+  auto to_carol = [&](std::uint16_t tp_src) {
+    return pkt::PacketBuilder()
+        .eth(net.alice_mac, carol_mac)
+        .ipv4(net.alice_ip, carol_ip, pkt::IpProto::kUdp)
+        .udp(tp_src, 80)
+        .finalize();
+  };
+  for (int i = 0; i < 3; ++i) net.packet_in(net.ch1, 0, to_carol(3000));
+  EXPECT_EQ(net.counters().pending_setups_parked, 1u);
+  EXPECT_EQ(net.counters().suppressed_packet_ins, 2u);
+  EXPECT_EQ(net.controller.pending_setup_count(), 1u);
+  EXPECT_EQ(net.sw1.adds() + net.sw2.adds(), 0u);
+
+  // Carol announces herself: exactly one setup runs and the suppressed
+  // duplicates' buffered packets are released through the new entries.
+  net.packet_in(net.ch2, 0, gratuitous_arp(carol_mac, carol_ip));
+  EXPECT_EQ(net.counters().pending_setups_completed, 1u);
+  EXPECT_EQ(net.controller.pending_setup_count(), 0u);
+  EXPECT_EQ(net.sw1.adds() + net.sw2.adds(), adds_per_setup);
+  EXPECT_EQ(net.sw1.packet_outs, 2u);  // one release per suppressed waiter
+}
+
+}  // namespace
+}  // namespace livesec

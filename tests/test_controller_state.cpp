@@ -22,7 +22,12 @@ class RecordingSwitch : public of::SwitchEndpoint {
   explicit RecordingSwitch(DatapathId dpid) : dpid_(dpid) {}
   DatapathId datapath_id() const override { return dpid_; }
   void handle_controller_message(const of::Message& m) override {
-    if (const auto* fm = std::get_if<of::FlowMod>(&m)) flow_mods.push_back(*fm);
+    if (const auto* fm = std::get_if<of::FlowMod>(&m)) {
+      flow_mods.push_back(*fm);
+    } else if (const auto* batch = std::get_if<of::FlowModBatch>(&m)) {
+      // Batched installs count as their individual mods, in batch order.
+      flow_mods.insert(flow_mods.end(), batch->mods.begin(), batch->mods.end());
+    }
   }
   std::vector<of::FlowMod> flow_mods;
 

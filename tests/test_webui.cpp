@@ -89,6 +89,43 @@ TEST(WebUi, JsonEscapesHostileSubjects) {
   EXPECT_TRUE(json_well_formed(json)) << json;
 }
 
+TEST(WebUi, StatsEndpointSurfacesFastPathCounters) {
+  UiNet net;
+  auto& a = net.network.add_host("a", net.ovs);
+  auto& b = net.network.add_host("b", net.ovs);
+  net.network.start();
+
+  // Two UDP flows of the same class: one decision-cache miss, one hit.
+  for (std::uint16_t tp_src : {5001, 5002}) {
+    pkt::Packet p = pkt::PacketBuilder()
+                        .ipv4(a.ip(), b.ip(), pkt::IpProto::kUdp)
+                        .udp(tp_src, 80)
+                        .payload("x")
+                        .build();
+    a.send_ip(std::move(p));
+    net.network.run_for(100 * kMillisecond);
+  }
+  const auto& fp = net.network.controller().stats().fastpath;
+  ASSERT_GE(fp.decision_cache_misses, 1u);
+  ASSERT_GE(fp.decision_cache_hits, 1u);
+
+  mon::WebUi ui(net.network.controller());
+  const std::string json = ui.snapshot_json(0, net.network.sim().now());
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  const auto has_counter = [&](const std::string& name, std::uint64_t value) {
+    const std::string needle = "\"" + name + "\":" + std::to_string(value);
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  };
+  has_counter("decision_cache_hits", fp.decision_cache_hits);
+  has_counter("decision_cache_misses", fp.decision_cache_misses);
+  has_counter("decision_cache_invalidations", fp.decision_cache_invalidations);
+  has_counter("suppressed_packet_ins", fp.suppressed_packet_ins);
+
+  const std::string text = ui.snapshot_text(0, net.network.sim().now());
+  EXPECT_NE(text.find("control plane"), std::string::npos);
+  EXPECT_NE(text.find("decision cache"), std::string::npos);
+}
+
 TEST(WebUi, SwitchLoadAppearsAfterStatsPolling) {
   UiNet net;
   auto& a = net.network.add_host("a", net.ovs);
