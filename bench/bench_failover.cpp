@@ -1,0 +1,282 @@
+// B-HA — Controller high availability: what active-standby replication costs
+// on the flow-setup hot path, and how long a failover takes end to end.
+//
+// Two measurements:
+//
+//   replication overhead — warm/cold flow setups per wall second with the
+//       controller publishing every mutation through an HaCluster (one
+//       standby applying the stream in the same process) versus standalone.
+//       Acceptance: warm overhead <= 10%.
+//
+//   recovery time — simulated time from active crash to (a) standby
+//       promotion with switches re-attached and (b) post-failover
+//       reconciliation complete, in a 2-switch network under live traffic
+//       with the default detection configuration (50 ms heartbeats, 3
+//       misses).
+//
+// `--json` emits the machine-readable form recorded in BENCH_controller.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "controller/controller.h"
+#include "ha/cluster.h"
+#include "ha/fault_plan.h"
+#include "net/network.h"
+#include "net/traffic.h"
+#include "openflow/channel.h"
+#include "packet/packet.h"
+#include "sim/simulator.h"
+#include "topology/lldp.h"
+
+using namespace livesec;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr int kHostsPerSide = 32;
+
+class CountingSwitch : public of::SwitchEndpoint {
+ public:
+  explicit CountingSwitch(DatapathId dpid) : dpid_(dpid) {}
+  DatapathId datapath_id() const override { return dpid_; }
+  void handle_controller_message(const of::Message&) override { ++messages_; }
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  DatapathId dpid_;
+  std::uint64_t messages_ = 0;
+};
+
+MacAddress client_mac(int i) { return MacAddress::from_uint64(0x100000u + static_cast<unsigned>(i)); }
+MacAddress server_mac(int i) { return MacAddress::from_uint64(0x200000u + static_cast<unsigned>(i)); }
+Ipv4Address client_ip(int i) { return Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i + 1)); }
+Ipv4Address server_ip(int i) { return Ipv4Address(10, 0, 2, static_cast<std::uint8_t>(i + 1)); }
+
+/// Same direct packet-in harness as bench_flow_setup, optionally wrapped in
+/// a two-node HaCluster so every controller mutation rides the replication
+/// fabric (encode, schedule, decode, apply on the standby).
+struct Harness {
+  sim::Simulator sim;
+  ctrl::Controller controller;
+  ctrl::Controller standby;
+  CountingSwitch sw1{1};
+  CountingSwitch sw2{2};
+  of::SecureChannel ch1{sim, sw1, controller, 0};
+  of::SecureChannel ch2{sim, sw2, controller, 0};
+  std::unique_ptr<ha::HaCluster> cluster;
+
+  explicit Harness(bool replicated) : controller(sim), standby(sim) {
+    if (replicated) {
+      cluster = std::make_unique<ha::HaCluster>(sim, ha::HaCluster::Config{});
+      cluster->add_node(controller);
+      cluster->add_node(standby);
+    }
+    controller.attach_channel(1, ch1);
+    controller.attach_channel(2, ch2);
+    ch1.connect(of::FeaturesReply{1, 64, "sw1"});
+    ch2.connect(of::FeaturesReply{2, 64, "sw2"});
+    sim.run();
+    topo::LldpInfo info;
+    info.chassis_id = 2;
+    info.port_id = 63;
+    packet_in(1, 62, pkt::finalize(info.to_packet()));
+    for (int i = 0; i < kHostsPerSide; ++i) {
+      packet_in(1, static_cast<PortId>(i), gratuitous_arp(client_mac(i), client_ip(i)));
+      packet_in(2, static_cast<PortId>(i), gratuitous_arp(server_mac(i), server_ip(i)));
+    }
+    ctrl::Policy catch_all;
+    catch_all.name = "default-allow";
+    catch_all.priority = 1;
+    catch_all.action = ctrl::PolicyAction::kAllow;
+    controller.policies().add(catch_all);
+    sim.run();
+  }
+
+  static pkt::PacketPtr gratuitous_arp(MacAddress mac, Ipv4Address ip) {
+    return pkt::PacketBuilder()
+        .eth(mac, MacAddress::broadcast())
+        .arp(pkt::ArpOp::kRequest, mac, ip, MacAddress{}, ip)
+        .finalize();
+  }
+
+  void packet_in(DatapathId dpid, PortId in_port, pkt::PacketPtr packet) {
+    of::PacketIn pin;
+    pin.in_port = in_port;
+    pin.buffer_id = of::PacketOut::kNoBuffer;
+    pin.packet = std::move(packet);
+    controller.handle_switch_message(dpid, of::Message{std::move(pin)});
+  }
+};
+
+pkt::PacketPtr udp_packet(int client, int server, std::uint16_t tp_src, std::uint16_t tp_dst) {
+  return pkt::PacketBuilder()
+      .eth(client_mac(client), server_mac(server))
+      .ipv4(client_ip(client), server_ip(server), pkt::IpProto::kUdp)
+      .udp(tp_src, tp_dst)
+      .finalize();
+}
+
+/// Flow setups per wall second, with or without the replication fabric. The
+/// periodic sim.run() flushes scheduled record deliveries, so the replicated
+/// figure pays the standby's apply cost too — the honest end-to-end price.
+double run_setups(bool replicated, bool warm, int count) {
+  Harness h(replicated);
+
+  std::vector<pkt::PacketPtr> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    if (warm) {
+      arrivals.push_back(udp_packet(0, 0, static_cast<std::uint16_t>(1 + (n % 60000)), 7777));
+    } else {
+      arrivals.push_back(
+          udp_packet(n % kHostsPerSide, (n / kHostsPerSide) % kHostsPerSide, 40000,
+                     static_cast<std::uint16_t>(5000 + n / (kHostsPerSide * kHostsPerSide))));
+    }
+  }
+
+  const std::uint64_t before = h.controller.stats().flows_installed;
+  const auto start = Clock::now();
+  for (int n = 0; n < count; ++n) {
+    h.packet_in(1, static_cast<PortId>(warm ? 0 : n % kHostsPerSide), std::move(arrivals[n]));
+    if ((n & 511) == 511) h.sim.run();
+  }
+  h.sim.run();
+  const double elapsed = seconds_since(start);
+  const std::uint64_t installed = h.controller.stats().flows_installed - before;
+  if (installed != static_cast<std::uint64_t>(count)) {
+    std::fprintf(stderr, "WARNING: installed %llu of %d setups (replicated=%d)\n",
+                 static_cast<unsigned long long>(installed), count, replicated ? 1 : 0);
+  }
+
+  if (replicated) {
+    const std::uint64_t head = h.cluster->log().head_seq();
+    if (h.cluster->applied_seq(1) != head) {
+      std::fprintf(stderr, "WARNING: standby applied %llu of %llu records\n",
+                   static_cast<unsigned long long>(h.cluster->applied_seq(1)),
+                   static_cast<unsigned long long>(head));
+    }
+  }
+  return static_cast<double>(count) / elapsed;
+}
+
+struct Pair {
+  double standalone = 0;  // best-of throughput
+  double replicated = 0;  // best-of throughput
+  double overhead_pct = 0;  // median of per-round standalone/replicated ratios
+};
+
+/// Interleaved standalone/replicated rounds. Throughputs are best-of; the
+/// overhead is the median of per-round ratios — back-to-back rounds see the
+/// same machine load, and the median sheds rounds a load spike polluted.
+Pair measure_interleaved(int repeats, bool warm, int count) {
+  Pair out;
+  std::vector<double> ratios;
+  for (int r = 0; r < repeats; ++r) {
+    const double plain = run_setups(false, warm, count);
+    const double repl = run_setups(true, warm, count);
+    out.standalone = std::max(out.standalone, plain);
+    out.replicated = std::max(out.replicated, repl);
+    ratios.push_back(plain / repl);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  out.overhead_pct = (ratios[ratios.size() / 2] - 1.0) * 100.0;
+  return out;
+}
+
+struct RecoveryResult {
+  double detect_promote_ms = 0;   // crash -> standby holds mastership
+  double reconcile_ms = 0;        // crash -> flow-table audit complete
+  double stale_removed = 0;
+  double drops_reinstalled = 0;
+};
+
+/// Simulated failover in a live 2-switch network: crash at 1 s, default
+/// detection configuration. Times are simulated (deterministic), not wall.
+RecoveryResult run_recovery() {
+  ha::FaultPlan plan;
+  plan.crash_active_at = 1 * kSecond;
+
+  net::Network network;
+  network.enable_ha(1, {}, plan);
+  auto& backbone = network.add_legacy_switch("backbone");
+  auto& ovs1 = network.add_as_switch("ovs1", backbone);
+  auto& ovs2 = network.add_as_switch("ovs2", backbone);
+  auto& alice = network.add_host("alice", ovs1);
+  auto& bob = network.add_host("bob", ovs2);
+  network.start();
+
+  net::UdpCbrApp stream(alice, {.dst = bob.ip(), .rate_bps = 2e6, .duration = 3 * kSecond});
+  stream.start();
+  network.run_for(3 * kSecond);
+
+  const ha::HaCluster& cluster = *network.ha_cluster();
+  RecoveryResult out;
+  const SimTime crash = cluster.stats().last_crash_at;
+  out.detect_promote_ms =
+      static_cast<double>(cluster.stats().last_promotion_at - crash) / kMillisecond;
+  const auto& report = network.active_controller().reconcile_report();
+  out.reconcile_ms = static_cast<double>(report.completed_at - crash) / kMillisecond;
+  out.stale_removed = static_cast<double>(report.stale_removed);
+  out.drops_reinstalled = static_cast<double>(report.drops_reinstalled);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = benchjson::wants_json(argc, argv);
+  if (!json) std::printf("=== B-HA: controller failover ===\n");
+
+  // Warm stays under the 60000 distinct tp_src values so no flow key ever
+  // repeats within one iteration.
+  constexpr int kColdSetups = 16384;
+  constexpr int kWarmSetups = 49152;
+  constexpr int kRepeats = 5;
+
+  benchjson::Emitter out("bench_failover");
+
+  const Pair warm = measure_interleaved(kRepeats, true, kWarmSetups);
+  const Pair cold = measure_interleaved(kRepeats, false, kColdSetups);
+  const double warm_plain = warm.standalone;
+  const double warm_repl = warm.replicated;
+  const double cold_plain = cold.standalone;
+  const double cold_repl = cold.replicated;
+  const double warm_overhead = warm.overhead_pct;
+  const double cold_overhead = cold.overhead_pct;
+
+  out.metric("setup_warm_standalone", warm_plain, "flows/s");
+  out.metric("setup_warm_replicated", warm_repl, "flows/s");
+  out.metric("replication_overhead_warm_pct", warm_overhead, "%");
+  out.metric("setup_cold_standalone", cold_plain, "flows/s");
+  out.metric("setup_cold_replicated", cold_repl, "flows/s");
+  out.metric("replication_overhead_cold_pct", cold_overhead, "%");
+  if (!json) {
+    std::printf("warm  standalone %10.0f flows/s   replicated %10.0f flows/s   overhead %+5.1f%%\n",
+                warm_plain, warm_repl, warm_overhead);
+    std::printf("cold  standalone %10.0f flows/s   replicated %10.0f flows/s   overhead %+5.1f%%\n",
+                cold_plain, cold_repl, cold_overhead);
+  }
+
+  const RecoveryResult rec = run_recovery();
+  out.metric("failover_detect_promote_ms", rec.detect_promote_ms, "sim-ms");
+  out.metric("failover_reconcile_ms", rec.reconcile_ms, "sim-ms");
+  out.metric("reconcile_stale_removed", rec.stale_removed, "entries");
+  out.metric("reconcile_drops_reinstalled", rec.drops_reinstalled, "entries");
+  if (!json) {
+    std::printf("recovery: detect+promote %.1f sim-ms, reconcile complete %.1f sim-ms\n",
+                rec.detect_promote_ms, rec.reconcile_ms);
+  }
+
+  if (json) out.print();
+  return 0;
+}

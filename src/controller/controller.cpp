@@ -29,6 +29,31 @@ Controller::Controller(sim::Simulator& sim, Config config)
   reverse_index_.reserve(1 << 12);
   cookie_index_.reserve(1 << 12);
   decision_cache_.reserve(std::min<std::size_t>(config_.decision_cache_capacity, 1 << 12));
+  install_policy_observer();
+}
+
+// --- replication -------------------------------------------------------------
+
+void Controller::set_replication_sink(ha::ReplicationSink* sink) { repl_sink_ = sink; }
+
+void Controller::replicate(ha::RecordBody body) {
+  if (repl_sink_ != nullptr && !applying_replicated_) repl_sink_->replicate(std::move(body));
+}
+
+void Controller::install_policy_observer() {
+  policies_.set_mutation_observer([this](const PolicyTable::PolicyMutation& m) {
+    switch (m.kind) {
+      case PolicyTable::PolicyMutation::Kind::kAdded:
+        replicate(ha::PolicyAddedRecord{*m.policy});
+        break;
+      case PolicyTable::PolicyMutation::Kind::kRemoved:
+        replicate(ha::PolicyRemovedRecord{m.id});
+        break;
+      case PolicyTable::PolicyMutation::Kind::kDefaultAction:
+        replicate(ha::DefaultActionRecord{m.action});
+        break;
+    }
+  });
 }
 
 void Controller::attach_channel(DatapathId dpid, of::SecureChannel& channel,
@@ -44,6 +69,7 @@ void Controller::register_ls_port(DatapathId dpid, PortId port) {
   if (it != ls_ports_.end() && it->second == port) return;
   ls_ports_[dpid] = port;
   ++epoch_;  // cached templates steer through the old uplink
+  replicate(ha::LsPortRecord{dpid, port});
 }
 
 std::optional<PortId> Controller::ls_port(DatapathId dpid) const {
@@ -60,6 +86,12 @@ void Controller::handle_switch_connected(DatapathId dpid, const of::FeaturesRepl
   state.num_ports = features.num_ports;
   state.name = features.name;
   ++epoch_;  // cached decisions were built while this switch was absent
+  last_switch_echo_[dpid] = sim_->now();
+  // A (re)connect restarts the datapath's buffer space: waiters parked
+  // against the previous connection hold buffer ids the switch no longer
+  // honors, so releasing them later would misfire.
+  drop_pending_for_switch(dpid);
+  replicate(ha::SwitchUpRecord{dpid, features.num_ports, features.name});
 
   topo::TopologyGraph::SwitchInfo info;
   info.dpid = dpid;
@@ -75,11 +107,21 @@ void Controller::handle_switch_connected(DatapathId dpid, const of::FeaturesRepl
 void Controller::handle_switch_disconnected(DatapathId dpid) {
   auto it = switches_.find(dpid);
   if (it == switches_.end()) return;
+  // Idempotent: an echo-timeout declaration and the channel's own close (or
+  // two staggered closes around a failover) may both land here.
+  if (!it->second.connected) return;
   it->second.connected = false;
+  last_switch_echo_.erase(dpid);
   raise(mon::EventType::kSwitchLeave, it->second.name, "dpid=" + std::to_string(dpid), dpid);
+  replicate(ha::SwitchDownRecord{dpid});
   topology_.remove_switch(dpid);
   for (const HostLocation& host : routing_.remove_switch(dpid)) {
+    replicate(ha::HostRemovedRecord{host.mac});
     raise(mon::EventType::kHostLeave, host.mac.to_string(), "switch disconnected", dpid);
+  }
+  drop_pending_for_switch(dpid);
+  if (reconciling_ && reconcile_pending_.erase(dpid) > 0 && reconcile_pending_.empty()) {
+    finish_reconciliation();
   }
   // Tear down every flow with a hop (ingress, egress or SE steering entry)
   // on the dead switch: its FlowRemoved can never arrive, so without this
@@ -105,7 +147,20 @@ void Controller::handle_switch_message(DatapathId dpid, const of::Message& messa
     on_packet_in(dpid, *pin);
   } else if (const auto* removed = std::get_if<of::FlowRemoved>(&message)) {
     on_flow_removed(dpid, *removed);
+  } else if (const auto* echo = std::get_if<of::EchoRequest>(&message)) {
+    auto it = switches_.find(dpid);
+    if (it != switches_.end() && it->second.channel != nullptr) {
+      it->second.channel->send_to_switch(of::EchoReply{echo->token});
+    }
+  } else if (std::get_if<of::EchoReply>(&message)) {
+    last_switch_echo_[dpid] = sim_->now();
   } else if (const auto* reply = std::get_if<of::StatsReply>(&message)) {
+    // Post-failover audit: this reply is the switch's answer to the
+    // reconciliation StatsRequest.
+    if (reconciling_ && reconcile_pending_.erase(dpid) > 0) {
+      audit_switch_stats(dpid, *reply);
+      if (reconcile_pending_.empty()) finish_reconciliation();
+    }
     // Fold the snapshot into the per-switch load view.
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
@@ -167,6 +222,7 @@ void Controller::handle_lldp(DatapathId dpid, PortId in_port, const pkt::Packet&
     if (!inserted && it->second == port) return;
     it->second = port;
     ++epoch_;  // cached templates steer through the old uplink
+    replicate(ha::LsPortRecord{sw, port});
   };
   learn_uplink(dpid, in_port);
   learn_uplink(info->chassis_id, info->port_id);
@@ -177,6 +233,7 @@ void Controller::handle_lldp(DatapathId dpid, PortId in_port, const pkt::Packet&
   if (!topology_.links().find(link.src, link.dst)) {
     topology_.links().add(link);
     ++stats_.lldp_links;
+    replicate(ha::LinkRecord{link.src, link.src_port, link.dst, link.dst_port});
     raise(mon::EventType::kLinkDiscovered,
           "dpid" + std::to_string(link.src) + "<->dpid" + std::to_string(link.dst), "", dpid);
   }
@@ -269,6 +326,12 @@ void Controller::handle_daemon(DatapathId dpid, PortId in_port, const pkt::Packe
     }
     routing_.learn(packet.eth.src, packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid, in_port,
                    sim_->now());
+    replicate(ha::SeUpsertRecord{message->se_id, packet.eth.src,
+                                 packet.ipv4 ? packet.ipv4->src : Ipv4Address(), online->service,
+                                 dpid, in_port, sim_->now()});
+    replicate(ha::HostLearnedRecord{packet.eth.src,
+                                    packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid, in_port,
+                                    sim_->now()});
     prime_fabric_location(packet.eth.src, packet.ipv4 ? packet.ipv4->src : Ipv4Address(), dpid);
     if (!pending_setups_.empty()) retry_pending_for_host(packet.eth.src);
     if (fresh) {
@@ -319,7 +382,12 @@ void Controller::handle_daemon_event(const SeRecord& se, const svc::EventMessage
       raise(type, original.dl_src.to_string(), event.description, se.dpid, se.se_id,
             event.severity, &original);
 
-      blocked_flows_.insert(original);
+      BlockedFlowInfo ingress;
+      if (record_it != flows_.end()) {
+        ingress = BlockedFlowInfo{record_it->second.ingress_dpid, record_it->second.ingress_port};
+      }
+      blocked_flows_.insert_or_assign(original, ingress);
+      replicate(ha::FlowBlockedRecord{original, ingress.ingress_dpid, ingress.ingress_port});
       if (record_it != flows_.end() && !record_it->second.blocked) {
         FlowRecord& record = record_it->second;
         record.blocked = true;
@@ -351,7 +419,10 @@ void Controller::handle_daemon_event(const SeRecord& se, const svc::EventMessage
           // this app for this user => block the newest flow at the ingress.
           if (!flow_control_.admits(monitor_, record.user, proto)) {
             flow_control_.record_rejection();
-            blocked_flows_.insert(record.key);
+            blocked_flows_.insert_or_assign(
+                record.key, BlockedFlowInfo{record.ingress_dpid, record.ingress_port});
+            replicate(
+                ha::FlowBlockedRecord{record.key, record.ingress_dpid, record.ingress_port});
             record.blocked = true;
             of::FlowMod mod;
             mod.command = of::FlowModCommand::kModifyStrict;
@@ -388,6 +459,7 @@ void Controller::handle_arp(DatapathId dpid, const of::PacketIn& pin) {
   const bool moved = known != nullptr && (known->dpid != dpid || known->port != pin.in_port);
   const bool fresh =
       routing_.learn(arp.sender_mac, arp.sender_ip, dpid, pin.in_port, sim_->now()) && !moved;
+  replicate(ha::HostLearnedRecord{arp.sender_mac, arp.sender_ip, dpid, pin.in_port, sim_->now()});
 
   if (moved && registry_.find_by_mac(arp.sender_mac) == nullptr) {
     // Host mobility (paper §III.D: "the mobility of users and VMs can be
@@ -469,6 +541,7 @@ void Controller::handle_arp(DatapathId dpid, const of::PacketIn& pin) {
 
 void Controller::enable_dhcp(Ipv4Address base, std::uint32_t size, SimTime lease_duration) {
   dhcp_.emplace(base, size, lease_duration);
+  replicate(ha::DhcpConfigRecord{base, size, lease_duration});
 }
 
 void Controller::handle_dhcp(DatapathId dpid, const of::PacketIn& pin) {
@@ -487,6 +560,10 @@ void Controller::handle_dhcp(DatapathId dpid, const of::PacketIn& pin) {
 
   if (request->op == pkt::DhcpOp::kDiscover || request->op == pkt::DhcpOp::kRequest) {
     const auto leased = dhcp_->allocate(request->client_mac, sim_->now());
+    if (leased) {
+      replicate(ha::DhcpLeaseRecord{request->client_mac, *leased,
+                                    dhcp_->lease_expiry(request->client_mac)});
+    }
     if (!leased) {
       reply.op = pkt::DhcpOp::kNak;
     } else if (request->op == pkt::DhcpOp::kDiscover) {
@@ -498,6 +575,8 @@ void Controller::handle_dhcp(DatapathId dpid, const of::PacketIn& pin) {
       // A committed lease is a host location: record it like an ARP would.
       const bool fresh =
           routing_.learn(request->client_mac, *leased, dpid, pin.in_port, sim_->now());
+      replicate(
+          ha::HostLearnedRecord{request->client_mac, *leased, dpid, pin.in_port, sim_->now()});
       if (fresh) {
         topo::TopologyGraph::AttachedNode node;
         node.name = leased->to_string();
@@ -1039,7 +1118,11 @@ void Controller::install_drop(DatapathId dpid, PortId in_port, const pkt::FlowKe
   send_flow_mod(dpid, mod);
 }
 
-bool Controller::unblock_flow(const pkt::FlowKey& key) { return blocked_flows_.erase(key) > 0; }
+bool Controller::unblock_flow(const pkt::FlowKey& key) {
+  if (blocked_flows_.erase(key) == 0) return false;
+  replicate(ha::FlowUnblockedRecord{key});
+  return true;
+}
 
 // --- flow teardown -----------------------------------------------------------------
 
@@ -1130,6 +1213,34 @@ void Controller::start_housekeeping() {
   if (housekeeping_running_) return;
   housekeeping_running_ = true;
   sim_->schedule(config_.housekeeping_interval, [this]() { housekeeping_tick(); });
+  if (config_.switch_echo_interval > 0) {
+    sim_->schedule(config_.switch_echo_interval, [this]() { echo_tick(); });
+  }
+}
+
+void Controller::echo_tick() {
+  if (!housekeeping_running_) return;
+  const SimTime now = sim_->now();
+  const SimTime timeout = config_.switch_echo_timeout > 0 ? config_.switch_echo_timeout
+                                                          : 3 * config_.switch_echo_interval;
+  std::vector<DatapathId> dead;
+  for (auto& [dpid, state] : switches_) {
+    if (!state.connected || state.channel == nullptr) continue;
+    const auto last = last_switch_echo_.find(dpid);
+    if (last != last_switch_echo_.end() && now - last->second > timeout) {
+      dead.push_back(dpid);
+      continue;
+    }
+    state.channel->send_to_switch(of::EchoRequest{static_cast<std::uint64_t>(now)});
+  }
+  for (DatapathId dpid : dead) {
+    // The channel still believes it is connected (a partition, not a close):
+    // declare the switch gone so state and flows stop depending on it. A
+    // later heal re-runs the connect handshake.
+    ++stats_.echo_timeouts;
+    handle_switch_disconnected(dpid);
+  }
+  sim_->schedule(config_.switch_echo_interval, [this]() { echo_tick(); });
 }
 
 void Controller::housekeeping_tick() {
@@ -1137,11 +1248,13 @@ void Controller::housekeeping_tick() {
   const SimTime now = sim_->now();
 
   for (const HostLocation& host : routing_.expire(now)) {
+    replicate(ha::HostRemovedRecord{host.mac});
     if (registry_.find_by_mac(host.mac) != nullptr) continue;  // SEs expire below
     topology_.remove_node(host.mac.to_string());
     raise(mon::EventType::kHostLeave, host.mac.to_string(), "arp timeout", host.dpid);
   }
   for (const SeRecord& se : registry_.expire(now)) {
+    replicate(ha::SeRemovedRecord{se.se_id});
     lb_.purge_se(se.se_id);
     topology_.remove_node("se" + std::to_string(se.se_id));
     // Flows steered through the dead SE would blackhole until their idle
@@ -1154,6 +1267,11 @@ void Controller::housekeeping_tick() {
           se.dpid, se.se_id);
   }
   expire_pending(now);
+  if (dhcp_) {
+    for (const auto& expired : dhcp_->expire(now)) {
+      replicate(ha::DhcpReleaseRecord{expired.first});
+    }
+  }
   // Periodic re-discovery keeps the link table fresh across topology
   // changes; interval 0 limits discovery to switch-join time.
   if (config_.lldp_interval > 0 && now >= next_lldp_) {
@@ -1205,6 +1323,280 @@ void Controller::send_flow_mod(DatapathId dpid, of::FlowMod mod) {
   auto it = switches_.find(dpid);
   if (it == switches_.end() || it->second.channel == nullptr || !it->second.connected) return;
   it->second.channel->send_to_switch(std::move(mod));
+}
+
+// --- high availability -------------------------------------------------------
+
+void Controller::drop_pending_for_switch(DatapathId dpid) {
+  for (auto it = pending_setups_.begin(); it != pending_setups_.end();) {
+    std::vector<PendingSetup::Waiter>& waiters = it->second.waiters;
+    std::erase_if(waiters,
+                  [dpid](const PendingSetup::Waiter& w) { return w.dpid == dpid; });
+    if (waiters.empty()) {
+      ++stats_.fastpath.pending_setups_expired;
+      it = pending_setups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Controller::apply_replicated(const ha::RecordBody& body) {
+  applying_replicated_ = true;
+  if (const auto* h = std::get_if<ha::HostLearnedRecord>(&body)) {
+    routing_.learn(h->mac, h->ip, h->dpid, h->port, h->seen_at);
+    if (registry_.find_by_mac(h->mac) == nullptr) {
+      topo::TopologyGraph::AttachedNode node;
+      node.name = h->ip.to_string();
+      node.kind = topo::NodeKind::kHost;
+      node.dpid = h->dpid;
+      node.port = h->port;
+      node.joined_at = h->seen_at;
+      topology_.upsert_node(h->mac.to_string(), node);
+    }
+  } else if (const auto* h = std::get_if<ha::HostRemovedRecord>(&body)) {
+    routing_.remove(h->mac);
+    topology_.remove_node(h->mac.to_string());
+  } else if (const auto* r = std::get_if<ha::LsPortRecord>(&body)) {
+    ls_ports_[r->dpid] = r->port;
+    ++epoch_;
+  } else if (const auto* l = std::get_if<ha::LinkRecord>(&body)) {
+    topology_.links().add(topo::AsLink{l->src, l->src_port, l->dst, l->dst_port});
+  } else if (const auto* p = std::get_if<ha::PolicyAddedRecord>(&body)) {
+    policies_.add(p->policy);
+  } else if (const auto* p = std::get_if<ha::PolicyRemovedRecord>(&body)) {
+    policies_.remove(p->id);
+  } else if (const auto* d = std::get_if<ha::DefaultActionRecord>(&body)) {
+    policies_.set_default_action(d->action);
+  } else if (const auto* s = std::get_if<ha::SeUpsertRecord>(&body)) {
+    svc::OnlineMessage report;
+    report.service = s->service;
+    registry_.handle_online(s->se_id, s->mac, s->ip, s->dpid, s->port, report, s->seen_at);
+    topo::TopologyGraph::AttachedNode node;
+    node.name = "se" + std::to_string(s->se_id) + ":" + svc::service_type_name(s->service);
+    node.kind = topo::NodeKind::kServiceElement;
+    node.dpid = s->dpid;
+    node.port = s->port;
+    node.joined_at = s->seen_at;
+    topology_.upsert_node("se" + std::to_string(s->se_id), node);
+  } else if (const auto* s = std::get_if<ha::SeRemovedRecord>(&body)) {
+    registry_.remove(s->se_id);
+    lb_.purge_se(s->se_id);
+    topology_.remove_node("se" + std::to_string(s->se_id));
+  } else if (const auto* f = std::get_if<ha::FlowBlockedRecord>(&body)) {
+    blocked_flows_.insert_or_assign(f->key,
+                                    BlockedFlowInfo{f->ingress_dpid, f->ingress_port});
+  } else if (const auto* f = std::get_if<ha::FlowUnblockedRecord>(&body)) {
+    blocked_flows_.erase(f->key);
+  } else if (const auto* d = std::get_if<ha::DhcpConfigRecord>(&body)) {
+    // Re-emplacing wipes leases, so only (re)configure on an actual change.
+    if (!dhcp_ || dhcp_->base() != d->base || dhcp_->capacity() != d->size ||
+        dhcp_->lease_duration() != d->lease_duration) {
+      dhcp_.emplace(d->base, d->size, d->lease_duration);
+    }
+  } else if (const auto* d = std::get_if<ha::DhcpLeaseRecord>(&body)) {
+    if (dhcp_) dhcp_->restore(d->mac, d->ip, d->expires);
+  } else if (const auto* d = std::get_if<ha::DhcpReleaseRecord>(&body)) {
+    if (dhcp_) dhcp_->release(d->mac);
+  } else if (const auto* s = std::get_if<ha::SwitchUpRecord>(&body)) {
+    // `connected` stays false: connectivity is a per-controller fact, and
+    // this instance's channel to the switch has not handshaken. The
+    // topology view mirrors the active's, so a promoted standby can route
+    // before every FeaturesReply of its own has landed.
+    SwitchState& state = switches_[s->dpid];
+    state.num_ports = s->num_ports;
+    state.name = s->name;
+    topo::TopologyGraph::SwitchInfo info;
+    info.dpid = s->dpid;
+    info.name = s->name;
+    info.kind = state.kind;
+    topology_.add_switch(info);
+  } else if (const auto* s = std::get_if<ha::SwitchDownRecord>(&body)) {
+    switch_loads_.erase(s->dpid);
+    topology_.remove_switch(s->dpid);
+  }
+  applying_replicated_ = false;
+}
+
+std::vector<ha::RecordBody> Controller::export_state() const {
+  std::vector<ha::RecordBody> out;
+  if (dhcp_) {
+    out.push_back(ha::DhcpConfigRecord{dhcp_->base(), dhcp_->capacity(),
+                                       dhcp_->lease_duration()});
+  }
+  for (const auto& [dpid, state] : switches_) {
+    if (state.connected) out.push_back(ha::SwitchUpRecord{dpid, state.num_ports, state.name});
+  }
+  for (const auto& [dpid, port] : ls_ports_) out.push_back(ha::LsPortRecord{dpid, port});
+  for (const topo::AsLink& link : topology_.links().all()) {
+    out.push_back(ha::LinkRecord{link.src, link.src_port, link.dst, link.dst_port});
+  }
+  // The hash-keyed tables iterate in arbitrary order; sort so two exports of
+  // identical state produce identical snapshots.
+  std::vector<HostLocation> hosts = routing_.all();
+  std::sort(hosts.begin(), hosts.end(), [](const HostLocation& a, const HostLocation& b) {
+    return a.mac.to_uint64() < b.mac.to_uint64();
+  });
+  for (const HostLocation& host : hosts) {
+    out.push_back(ha::HostLearnedRecord{host.mac, host.ip, host.dpid, host.port, host.last_seen});
+  }
+  for (const SeRecord* se : registry_.all()) {  // map-ordered by se_id
+    out.push_back(ha::SeUpsertRecord{se->se_id, se->mac, se->ip, se->service, se->dpid, se->port,
+                                     se->last_heartbeat});
+  }
+  out.push_back(ha::DefaultActionRecord{policies_.default_action()});
+  for (const Policy& policy : policies_.policies()) {
+    out.push_back(ha::PolicyAddedRecord{policy});
+  }
+  for (const auto& [key, info] : blocked_flows_) {
+    out.push_back(ha::FlowBlockedRecord{key, info.ingress_dpid, info.ingress_port});
+  }
+  if (dhcp_) {
+    std::vector<std::pair<MacAddress, DhcpPool::Lease>> leases(dhcp_->leases().begin(),
+                                                               dhcp_->leases().end());
+    std::sort(leases.begin(), leases.end(), [](const auto& a, const auto& b) {
+      return a.first.to_uint64() < b.first.to_uint64();
+    });
+    for (const auto& [mac, lease] : leases) {
+      out.push_back(ha::DhcpLeaseRecord{mac, lease.ip, lease.expires});
+    }
+  }
+  return out;
+}
+
+void Controller::import_snapshot(const std::vector<ha::RecordBody>& records) {
+  routing_ = RoutingTable(config_.host_timeout);
+  registry_ = ServiceRegistry(config_.se_liveness_timeout);
+  policies_ = PolicyTable(config_.default_action);
+  install_policy_observer();
+  blocked_flows_.clear();
+  ls_ports_.clear();
+  dhcp_.reset();
+  topology_ = topo::TopologyGraph{};
+  ++epoch_;
+  for (const ha::RecordBody& record : records) apply_replicated(record);
+}
+
+void Controller::note_promoted() {
+  // No cached decision, cookie template or suppressed packet-in computed
+  // before the failover may replay against the post-failover network.
+  ++epoch_;
+  raise(mon::EventType::kFailover, "controller", "promoted to active");
+  start_housekeeping();
+}
+
+void Controller::begin_reconciliation() {
+  reconcile_report_ = ReconcileReport{};
+  reconcile_pending_.clear();
+  for (const auto& [dpid, state] : switches_) {
+    if (state.connected && state.channel != nullptr) {
+      reconcile_pending_.insert(dpid);
+      state.channel->send_to_switch(of::StatsRequest{});
+    }
+  }
+  reconciling_ = true;
+  if (reconcile_pending_.empty()) finish_reconciliation();
+}
+
+void Controller::finish_reconciliation() {
+  reconciling_ = false;
+  reconcile_report_.completed_at = sim_->now();
+  raise(mon::EventType::kReconciled, "controller",
+        std::to_string(reconcile_report_.entries_audited) + " entries audited, " +
+            std::to_string(reconcile_report_.stale_removed) + " stale removed, " +
+            std::to_string(reconcile_report_.drops_reinstalled) + " drops reinstalled");
+}
+
+void Controller::audit_switch_stats(DatapathId dpid, const of::StatsReply& reply) {
+  ++reconcile_report_.switches_audited;
+  // Exact keys whose drop entry already exists on this switch.
+  std::set<pkt::FlowKey> dropped_here;
+
+  const auto remove_entry = [&](const of::FlowStats& fs) {
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kDeleteStrict;
+    mod.entry.match = fs.match;
+    mod.entry.priority = fs.priority;
+    send_flow_mod(dpid, mod);
+    ++reconcile_report_.stale_removed;
+  };
+
+  for (const of::FlowStats& fs : reply.flows) {
+    ++reconcile_report_.entries_audited;
+    // Wildcard entries are administrator-installed, not controller flow
+    // state; the audit leaves them alone.
+    if (!fs.match.is_exact()) continue;
+    const pkt::FlowKey key = fs.match.flow_key();
+    const bool blocked = blocked_flows_.contains(key);
+    const Policy* policy = policies_.lookup(key);
+    const bool denied =
+        (policy != nullptr ? policy->action : policies_.default_action()) == PolicyAction::kDeny;
+
+    if (fs.drop) {
+      // A drop entry is legitimate only while its flow is still blocked or
+      // policy-denied; anything else is an orphan from the previous active
+      // (e.g. a flow unblocked after the entry was installed).
+      if (blocked || denied) {
+        dropped_here.insert(key);
+      } else {
+        remove_entry(fs);
+      }
+      continue;
+    }
+    // Forwarding entry. A blocked flow must not forward: overwrite the
+    // entry with a drop in place (same match/priority).
+    if (blocked) {
+      of::FlowMod mod;
+      mod.command = of::FlowModCommand::kModifyStrict;
+      mod.entry.match = fs.match;
+      mod.entry.priority = fs.priority;
+      mod.entry.actions = of::drop();
+      send_flow_mod(dpid, mod);
+      ++reconcile_report_.drops_reinstalled;
+      dropped_here.insert(key);
+      continue;
+    }
+    if (denied) {
+      // Policy changed to deny after the previous active installed the path.
+      remove_entry(fs);
+      continue;
+    }
+    // Entries whose endpoints the replicated state never heard of are
+    // orphans (both hosts expired or left before the failover).
+    const bool src_known =
+        routing_.find(key.dl_src) != nullptr || registry_.find_by_mac(key.dl_src) != nullptr;
+    const bool dst_known =
+        routing_.find(key.dl_dst) != nullptr || registry_.find_by_mac(key.dl_dst) != nullptr;
+    if (!src_known || !dst_known) remove_entry(fs);
+  }
+
+  // Re-install drops the switch lost (e.g. it idle-expired while no active
+  // was watching, or the crash raced the install).
+  for (const auto& [key, info] : blocked_flows_) {
+    if (info.ingress_dpid != dpid || info.ingress_port == kInvalidPort) continue;
+    if (dropped_here.contains(key)) continue;
+    install_drop(dpid, info.ingress_port, key);
+    ++reconcile_report_.drops_reinstalled;
+  }
+}
+
+std::uint64_t Controller::channel_outbox_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& [dpid, state] : switches_) {
+    if (state.channel != nullptr) total += state.channel->outbox_dropped();
+  }
+  return total;
+}
+
+std::size_t Controller::channel_backlog() const {
+  std::size_t total = 0;
+  for (const auto& [dpid, state] : switches_) {
+    if (state.channel != nullptr) {
+      total += state.channel->outbox_depth_to_switch() +
+               state.channel->outbox_depth_to_controller();
+    }
+  }
+  return total;
 }
 
 void Controller::raise(mon::EventType type, std::string subject, std::string detail,

@@ -20,6 +20,7 @@
 #include "controller/policy.h"
 #include "controller/routing_table.h"
 #include "controller/service_registry.h"
+#include "ha/replication.h"
 #include "monitor/event_store.h"
 #include "monitor/monitoring.h"
 #include "openflow/channel.h"
@@ -68,6 +69,13 @@ class Controller : public of::ControllerEndpoint {
     std::size_t pending_setup_capacity = 1024;
     std::size_t pending_waiters_per_flow = 16;
     SimTime pending_setup_timeout = 1 * kSecond;
+    /// OFPT_ECHO liveness probing of switch channels (0 = off). A channel
+    /// that stays "connected" but silently loses traffic — a network
+    /// partition as TCP sees it — is only detectable this way. A switch
+    /// missing echo replies for `switch_echo_timeout` (default 3x the
+    /// interval) is declared disconnected.
+    SimTime switch_echo_interval = 0;
+    SimTime switch_echo_timeout = 0;
   };
 
   Controller(sim::Simulator& sim, Config config);
@@ -125,6 +133,61 @@ class Controller : public of::ControllerEndpoint {
   /// Unblocks a previously blocked flow (admin action).
   bool unblock_flow(const pkt::FlowKey& key);
 
+  // --- high availability ------------------------------------------------------
+  /// Wires the sink through which every state mutation is replicated to
+  /// standby controllers. Pass nullptr to stop replicating (a demoted or
+  /// standby instance). The caller owns the sink.
+  void set_replication_sink(ha::ReplicationSink* sink);
+
+  /// Applies one replicated record to this (standby) instance's state
+  /// tables. Never touches switches: connectivity is per-controller.
+  void apply_replicated(const ha::RecordBody& body);
+
+  /// The full state re-expressed as records, in deterministic order.
+  /// Applying them onto a fresh controller reproduces the state.
+  std::vector<ha::RecordBody> export_state() const;
+
+  /// Resets replicated state and applies a snapshot's records. Used when a
+  /// standby lags past the active's log truncation point.
+  void import_snapshot(const std::vector<ha::RecordBody>& records);
+
+  /// Called when this standby takes mastership: bumps the epoch so no
+  /// cached pre-failover decision (or cookie template) can replay, raises
+  /// the failover event and starts housekeeping.
+  void note_promoted();
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Outcome of one post-failover flow-table audit.
+  struct ReconcileReport {
+    std::uint64_t switches_audited = 0;
+    std::uint64_t entries_audited = 0;
+    /// Entries deleted: orphaned drops, policy-denied forwards, flows with
+    /// endpoints the replicated state never heard of.
+    std::uint64_t stale_removed = 0;
+    /// Ingress drops re-installed for replicated blocked flows the switch
+    /// no longer carried.
+    std::uint64_t drops_reinstalled = 0;
+    SimTime completed_at = 0;  // 0 = no reconciliation has completed
+  };
+
+  /// Audits every connected switch's flow table against the replicated
+  /// state (StatsRequest/StatsReply): stale entries are deleted, missing
+  /// security drops re-installed. Runs asynchronously; progress is visible
+  /// through reconciling() and reconcile_report().
+  void begin_reconciliation();
+  bool reconciling() const { return reconciling_; }
+  const ReconcileReport& reconcile_report() const { return reconcile_report_; }
+
+  /// Channel backpressure, aggregated over every attached channel.
+  std::uint64_t channel_outbox_dropped() const;
+  std::size_t channel_backlog() const;
+
+  std::size_t blocked_flow_count() const { return blocked_flows_.size(); }
+  bool switch_connected(DatapathId dpid) const {
+    auto it = switches_.find(dpid);
+    return it != switches_.end() && it->second.connected;
+  }
+
   // --- state queries (WebUI & tests) -----------------------------------------
   const RoutingTable& routing() const { return routing_; }
   const ServiceRegistry& services() const { return registry_; }
@@ -163,6 +226,8 @@ class Controller : public of::ControllerEndpoint {
     std::uint64_t lldp_links = 0;
     /// Messages ignored because their dpid never attached a channel.
     std::uint64_t unknown_dpid_drops = 0;
+    /// Switches declared dead because echo replies stopped arriving.
+    std::uint64_t echo_timeouts = 0;
     /// Decision-cache and packet-in-suppression observability.
     mon::FastPathCounters fastpath;
   };
@@ -353,6 +418,22 @@ class Controller : public of::ControllerEndpoint {
   void send_lldp_probes(DatapathId dpid);
   void send_flow_mod(DatapathId dpid, of::FlowMod mod);
 
+  // --- high availability ------------------------------------------------------
+  /// Publishes one record to the replication sink (no-op on standbys and
+  /// while applying replicated records, so applies never echo back).
+  void replicate(ha::RecordBody body);
+  /// (Re-)wires the policy-table observer that replicates policy pushes.
+  void install_policy_observer();
+  /// Satellite of the HA work: a switch that disconnected or reconnected
+  /// invalidates every parked waiter holding one of its buffer ids —
+  /// releasing them would PacketOut into a dead or restarted connection.
+  void drop_pending_for_switch(DatapathId dpid);
+  /// One switch's share of the post-failover audit.
+  void audit_switch_stats(DatapathId dpid, const of::StatsReply& reply);
+  void finish_reconciliation();
+  /// Periodic OFPT_ECHO probe + liveness check (switch_echo_interval > 0).
+  void echo_tick();
+
   /// Teaches the legacy fabric where `mac` lives by injecting a gratuitous
   /// ARP out of its switch's Legacy-Switching port. The directory proxy
   /// suppresses host broadcasts (paper §III.C.2), so without priming the
@@ -382,14 +463,34 @@ class Controller : public of::ControllerEndpoint {
   std::unordered_map<pkt::FlowKey, pkt::FlowKey> steered_index_;
   /// Reverse key -> forward key (one record per session).
   std::unordered_map<pkt::FlowKey, pkt::FlowKey> reverse_index_;
+  /// Where a blocked flow enters the network — carried in replication so a
+  /// promoted standby can re-install the drop without the flow's next
+  /// packet-in.
+  struct BlockedFlowInfo {
+    DatapathId ingress_dpid = 0;
+    PortId ingress_port = kInvalidPort;
+  };
   /// Flows banned by security events; re-blocked on any future packet-in.
-  std::set<pkt::FlowKey> blocked_flows_;
+  /// std::map: snapshot export iterates in deterministic key order.
+  std::map<pkt::FlowKey, BlockedFlowInfo> blocked_flows_;
   /// Cookie stamped on ingress entries -> forward key (FlowRemoved lookup).
   std::unordered_map<std::uint64_t, pkt::FlowKey> cookie_index_;
   std::uint64_t next_cookie_ = 1;
 
   bool housekeeping_running_ = false;
   SimTime next_lldp_ = 0;
+
+  // --- high-availability state ------------------------------------------------
+  ha::ReplicationSink* repl_sink_ = nullptr;
+  /// True while apply_replicated runs: mutations it causes (e.g. the policy
+  /// observer firing) must not be re-replicated.
+  bool applying_replicated_ = false;
+  bool reconciling_ = false;
+  /// Switches whose StatsReply the audit still waits for.
+  std::set<DatapathId> reconcile_pending_;
+  ReconcileReport reconcile_report_;
+  /// Last proof of life per switch channel (echo reply or connect).
+  std::map<DatapathId, SimTime> last_switch_echo_;
   /// Last fabric-priming time per MAC (re-primed after kPrimeInterval).
   std::unordered_map<MacAddress, SimTime> primed_;
   std::map<DatapathId, SwitchLoad> switch_loads_;

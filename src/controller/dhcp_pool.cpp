@@ -38,18 +38,36 @@ void DhcpPool::release(const MacAddress& mac) {
   leases_.erase(it);
 }
 
-std::size_t DhcpPool::expire(SimTime now) {
-  std::size_t reclaimed = 0;
+std::vector<std::pair<MacAddress, Ipv4Address>> DhcpPool::expire(SimTime now) {
+  std::vector<std::pair<MacAddress, Ipv4Address>> reclaimed;
   for (auto it = leases_.begin(); it != leases_.end();) {
     if (it->second.expires <= now) {
+      reclaimed.emplace_back(it->first, it->second.ip);
       by_ip_.erase(it->second.ip);
       it = leases_.erase(it);
-      ++reclaimed;
     } else {
       ++it;
     }
   }
   return reclaimed;
+}
+
+void DhcpPool::restore(const MacAddress& mac, Ipv4Address ip, SimTime expires) {
+  // Drop any conflicting bindings first: the replicated record is the truth.
+  if (auto holder = by_ip_.find(ip); holder != by_ip_.end() && holder->second != mac) {
+    leases_.erase(holder->second);
+    by_ip_.erase(holder);
+  }
+  if (auto old = leases_.find(mac); old != leases_.end() && old->second.ip != ip) {
+    by_ip_.erase(old->second.ip);
+  }
+  leases_[mac] = Lease{ip, expires};
+  by_ip_[ip] = mac;
+}
+
+SimTime DhcpPool::lease_expiry(const MacAddress& mac) const {
+  auto it = leases_.find(mac);
+  return it == leases_.end() ? 0 : it->second.expires;
 }
 
 }  // namespace livesec::ctrl

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/ip_address.h"
 #include "common/mac_address.h"
@@ -29,19 +31,31 @@ class DhcpPool {
   /// Releases a lease explicitly.
   void release(const MacAddress& mac);
 
-  /// Drops expired leases; returns the number reclaimed.
-  std::size_t expire(SimTime now);
+  /// Drops expired leases; returns the reclaimed (mac, ip) pairs so callers
+  /// can propagate the expiry (events, HA replication).
+  std::vector<std::pair<MacAddress, Ipv4Address>> expire(SimTime now);
 
-  std::size_t active_leases() const { return leases_.size(); }
-  std::uint32_t capacity() const { return size_; }
-  SimTime lease_duration() const { return lease_duration_; }
+  /// Force-installs a lease with an explicit expiry, displacing whatever held
+  /// the address. Used when rebuilding pool state from a replication stream.
+  void restore(const MacAddress& mac, Ipv4Address ip, SimTime expires);
 
- private:
   struct Lease {
     Ipv4Address ip;
     SimTime expires;
   };
 
+  /// Current leases keyed by client MAC (HA snapshot export).
+  const std::unordered_map<MacAddress, Lease>& leases() const { return leases_; }
+
+  /// Expiry of `mac`'s current lease (0 = no lease).
+  SimTime lease_expiry(const MacAddress& mac) const;
+
+  std::size_t active_leases() const { return leases_.size(); }
+  Ipv4Address base() const { return base_; }
+  std::uint32_t capacity() const { return size_; }
+  SimTime lease_duration() const { return lease_duration_; }
+
+ private:
   Ipv4Address base_;
   std::uint32_t size_;
   SimTime lease_duration_;

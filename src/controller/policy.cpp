@@ -47,9 +47,12 @@ std::uint32_t PolicyTable::add(Policy policy) {
   // Insert before the first strictly lower priority to keep stable order.
   auto pos = std::find_if(policies_.begin(), policies_.end(),
                           [&](const Policy& p) { return p.priority < policy.priority; });
-  policies_.insert(pos, std::move(policy));
+  auto inserted = policies_.insert(pos, std::move(policy));
   index_dirty_ = true;
   ++version_;
+  if (observer_) {
+    observer_(PolicyMutation{PolicyMutation::Kind::kAdded, &*inserted, id, PolicyAction::kAllow});
+  }
   return id;
 }
 
@@ -60,6 +63,9 @@ bool PolicyTable::remove(std::uint32_t id) {
   policies_.erase(policies_.begin() + static_cast<std::ptrdiff_t>(it->second));
   index_dirty_ = true;
   ++version_;
+  if (observer_) {
+    observer_(PolicyMutation{PolicyMutation::Kind::kRemoved, nullptr, id, PolicyAction::kAllow});
+  }
   return true;
 }
 

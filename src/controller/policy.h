@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -91,6 +92,23 @@ class PolicyTable {
   void set_default_action(PolicyAction action) {
     default_action_ = action;
     ++version_;
+    if (observer_) observer_(PolicyMutation{PolicyMutation::Kind::kDefaultAction, nullptr, 0, action});
+  }
+
+  /// One table mutation, reported to the observer after it is applied. The
+  /// `policy` pointer is only valid for the duration of the callback.
+  struct PolicyMutation {
+    enum class Kind : std::uint8_t { kAdded, kRemoved, kDefaultAction };
+    Kind kind = Kind::kAdded;
+    const Policy* policy = nullptr;       // kAdded
+    std::uint32_t id = 0;                 // kRemoved
+    PolicyAction action = PolicyAction::kAllow;  // kDefaultAction
+  };
+
+  /// Installs the (single) mutation observer. HA replication uses this to
+  /// mirror administrator policy pushes to standby controllers.
+  void set_mutation_observer(std::function<void(const PolicyMutation&)> observer) {
+    observer_ = std::move(observer);
   }
 
   /// Bumped on every mutation (add/remove/set_default_action). Decision
@@ -136,6 +154,7 @@ class PolicyTable {
   PolicyAction default_action_;
   std::uint32_t next_id_ = 1;
   std::uint64_t version_ = 0;
+  std::function<void(const PolicyMutation&)> observer_;
   std::vector<Policy> policies_;  // kept sorted by (priority desc, insertion asc)
 
   // The indexes are a cache over policies_, rebuilt lazily from const

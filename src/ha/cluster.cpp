@@ -1,0 +1,293 @@
+#include "ha/cluster.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "sim/simulator.h"
+
+namespace livesec::ha {
+
+namespace {
+const char* role_name(HaCluster::Role role) {
+  switch (role) {
+    case HaCluster::Role::kActive: return "active";
+    case HaCluster::Role::kStandby: return "standby";
+    case HaCluster::Role::kCrashed: return "crashed";
+  }
+  return "?";
+}
+}  // namespace
+
+HaCluster::HaCluster(sim::Simulator& sim, Config config, FaultPlan plan)
+    : sim_(&sim), config_(config), plan_(plan), rng_(plan.seed) {}
+
+void HaCluster::add_node(ctrl::Controller& controller) {
+  assert(switches_.empty() && "add every node before managing switches");
+  Node node;
+  node.controller = &controller;
+  if (nodes_.empty()) {
+    node.role = Role::kActive;
+    controller.set_replication_sink(this);
+  }
+  nodes_.push_back(std::move(node));
+}
+
+void HaCluster::manage_switch(sw::OpenFlowSwitch& sw, of::SecureChannel& active_channel,
+                              topo::NodeKind kind) {
+  assert(!nodes_.empty() && "add nodes before switches");
+  ManagedSwitch ms;
+  ms.sw = &sw;
+  ms.dpid = sw.datapath_id();
+  ms.kind = kind;
+  ms.channels.resize(nodes_.size(), nullptr);
+  ms.channels[0] = &active_channel;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    owned_channels_.push_back(std::make_unique<of::SecureChannel>(
+        *sim_, sw, *nodes_[i].controller, active_channel.latency()));
+    owned_channels_.back()->set_wire_encoding(wire_encoding_);
+    ms.channels[i] = owned_channels_.back().get();
+    // The standby learns the channel now so promotion only has to connect it.
+    nodes_[i].controller->attach_channel(ms.dpid, *ms.channels[i], kind);
+  }
+  switches_.push_back(std::move(ms));
+}
+
+void HaCluster::start() {
+  if (started_) return;
+  started_ = true;
+  last_heartbeat_ = sim_->now();
+  sim_->schedule(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+  sim_->schedule(config_.resync_interval, [this] { resync_tick(); });
+  if (config_.snapshot_interval > 0) {
+    sim_->schedule(config_.snapshot_interval, [this] { snapshot_tick(); });
+  }
+  if (plan_.crash_active_at > 0) {
+    sim_->schedule_at(plan_.crash_active_at, [this] { crash_active(); });
+  }
+  if (plan_.partition_dpid != 0 && plan_.partition_at > 0) {
+    sim_->schedule_at(plan_.partition_at, [this] { partition_switch(plan_.partition_dpid); });
+    if (plan_.partition_heal_at > plan_.partition_at) {
+      sim_->schedule_at(plan_.partition_heal_at, [this] { heal_switch(plan_.partition_dpid); });
+    }
+  }
+}
+
+void HaCluster::enable_wire_encoding() {
+  wire_encoding_ = true;
+  for (auto& channel : owned_channels_) channel->set_wire_encoding(true);
+}
+
+// --- replication fan-out -----------------------------------------------------
+
+void HaCluster::replicate(RecordBody body) {
+  ReplicationRecord record;
+  record.body = std::move(body);
+  record.seq = log_.append(record.body);
+  ++stats_.records_published;
+  if (nodes_.size() <= 1) return;
+
+  // Encode once; every standby's delivery shares the same immutable frame.
+  auto bytes = std::make_shared<const std::vector<std::uint8_t>>(encode_record(record));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == active_ || nodes_[i].role != Role::kStandby) continue;
+    if (plan_.replication_drop_probability > 0 &&
+        rng_.chance(plan_.replication_drop_probability)) {
+      ++stats_.records_dropped;  // the resync tick will repair the gap
+      continue;
+    }
+    SimTime delay = config_.replication_latency;
+    if (plan_.replication_delay_probability > 0 &&
+        rng_.chance(plan_.replication_delay_probability)) {
+      delay += plan_.replication_extra_delay;
+      ++stats_.records_delayed;
+    } else if (plan_.replication_reorder_probability > 0 &&
+               rng_.chance(plan_.replication_reorder_probability)) {
+      // Held just long enough for records published after it to overtake.
+      delay += 3 * config_.replication_latency;
+      ++stats_.records_delayed;
+    }
+    sim_->schedule(delay, [this, i, bytes] {
+      if (auto decoded = decode_record(*bytes)) deliver(i, *decoded);
+    });
+  }
+}
+
+void HaCluster::deliver(std::size_t node_index, const ReplicationRecord& record) {
+  Node& node = nodes_[node_index];
+  if (node.role != Role::kStandby) return;  // promoted or crashed in flight
+  if (record.seq <= node.applied_seq) {
+    ++stats_.duplicates_ignored;
+    return;
+  }
+  if (record.seq != node.applied_seq + 1) {
+    node.held.emplace(record.seq, record.body);  // gap: park until repaired
+    return;
+  }
+  node.controller->apply_replicated(record.body);
+  node.applied_seq = record.seq;
+  // Drain any held records the gap was hiding.
+  auto it = node.held.begin();
+  while (it != node.held.end() && it->first <= node.applied_seq + 1) {
+    if (it->first == node.applied_seq + 1) {
+      node.controller->apply_replicated(it->second);
+      node.applied_seq = it->first;
+    }
+    it = node.held.erase(it);
+  }
+}
+
+void HaCluster::catch_up(Node& node, bool count_retransmits) {
+  auto records = log_.since(node.applied_seq);
+  if (!records) {
+    // The log was truncated past this node's position: bootstrap from the
+    // snapshot, then take the remaining tail from the log.
+    node.controller->import_snapshot(snapshot_records_);
+    node.applied_seq = snapshot_through_;
+    node.held.clear();
+    ++stats_.snapshots_imported;
+    records = log_.since(node.applied_seq);
+  }
+  if (records) {
+    for (const auto& record : *records) {
+      if (record.seq <= node.applied_seq) continue;
+      node.controller->apply_replicated(record.body);
+      node.applied_seq = record.seq;
+      if (count_retransmits) ++stats_.retransmits;
+    }
+  }
+  node.held.clear();
+}
+
+// --- periodic machinery ------------------------------------------------------
+
+void HaCluster::heartbeat_tick() {
+  if (nodes_[active_].role == Role::kActive) {
+    last_heartbeat_ = sim_->now();
+  } else if (sim_->now() - last_heartbeat_ >=
+             static_cast<SimTime>(config_.heartbeat_miss_threshold) *
+                 config_.heartbeat_interval) {
+    promote_next();
+  }
+  if (started_) sim_->schedule(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void HaCluster::resync_tick() {
+  for (auto& node : nodes_) {
+    if (node.role != Role::kStandby) continue;
+    if (node.applied_seq < log_.head_seq()) catch_up(node, true);
+  }
+  if (started_) sim_->schedule(config_.resync_interval, [this] { resync_tick(); });
+}
+
+void HaCluster::snapshot_tick() {
+  if (nodes_[active_].role == Role::kActive) {
+    snapshot_records_ = nodes_[active_].controller->export_state();
+    snapshot_through_ = log_.head_seq();
+    log_.truncate(snapshot_through_);
+    ++stats_.snapshots_taken;
+  }
+  if (started_) sim_->schedule(config_.snapshot_interval, [this] { snapshot_tick(); });
+}
+
+// --- failure + recovery ------------------------------------------------------
+
+void HaCluster::crash_active() {
+  Node& node = nodes_[active_];
+  if (node.role != Role::kActive) return;
+  node.role = Role::kCrashed;
+  node.controller->set_replication_sink(nullptr);
+  // Process death closes its control connections; switches experience a
+  // controller outage (table misses drop) until a standby takes over.
+  for (auto& ms : switches_) {
+    if (ms.channels[active_]->connected()) ms.channels[active_]->disconnect();
+  }
+  ++stats_.crashes;
+  stats_.last_crash_at = sim_->now();
+}
+
+void HaCluster::promote_next() {
+  std::size_t next = nodes_.size();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].role == Role::kStandby) {
+      next = i;
+      break;
+    }
+  }
+  if (next == nodes_.size()) return;  // cluster exhausted
+
+  Node& node = nodes_[next];
+  // Apply everything the log knows before taking writes of our own.
+  catch_up(node, false);
+  node.role = Role::kActive;
+  active_ = next;
+  node.controller->set_replication_sink(this);
+  node.controller->note_promoted();
+
+  // Point every reachable switch at the new active's channel.
+  for (auto& ms : switches_) {
+    if (ms.partitioned) continue;
+    ms.sw->connect_controller(*ms.channels[next]);
+  }
+
+  ++stats_.failovers;
+  stats_.last_promotion_at = sim_->now();
+  last_heartbeat_ = sim_->now();
+
+  // Audit the switches once the re-handshakes have landed.
+  sim_->schedule(config_.reconcile_delay,
+                 [this] { nodes_[active_].controller->begin_reconciliation(); });
+}
+
+void HaCluster::partition_switch(DatapathId dpid) {
+  for (auto& ms : switches_) {
+    if (ms.dpid != dpid) continue;
+    ms.partitioned = true;
+    ms.channels[active_]->set_blackhole(true);
+    return;
+  }
+}
+
+void HaCluster::heal_switch(DatapathId dpid) {
+  for (auto& ms : switches_) {
+    if (ms.dpid != dpid) continue;
+    ms.partitioned = false;
+    // The active may have changed while partitioned; clear the blackhole
+    // everywhere and re-handshake with whoever is active now.
+    for (auto* channel : ms.channels) channel->set_blackhole(false);
+    of::SecureChannel* channel = ms.channels[active_];
+    // Echo liveness likely declared the switch dead during the partition;
+    // cycle the channel so both ends agree the connection is fresh.
+    if (channel->connected()) channel->disconnect();
+    ms.sw->connect_controller(*channel);
+    return;
+  }
+}
+
+// --- observability -----------------------------------------------------------
+
+std::string HaCluster::status_json() const {
+  std::ostringstream out;
+  out << "{\"active\":" << active_ << ",\"nodes\":[";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"role\":\"" << role_name(nodes_[i].role)
+        << "\",\"applied_seq\":" << nodes_[i].applied_seq
+        << ",\"epoch\":" << nodes_[i].controller->epoch() << "}";
+  }
+  out << "],\"log\":{\"head\":" << log_.head_seq() << ",\"base\":" << log_.base_seq()
+      << ",\"size\":" << log_.size() << "}"
+      << ",\"snapshot_through\":" << snapshot_through_
+      << ",\"records_published\":" << stats_.records_published
+      << ",\"records_dropped\":" << stats_.records_dropped
+      << ",\"records_delayed\":" << stats_.records_delayed
+      << ",\"duplicates_ignored\":" << stats_.duplicates_ignored
+      << ",\"retransmits\":" << stats_.retransmits
+      << ",\"snapshots_taken\":" << stats_.snapshots_taken
+      << ",\"snapshots_imported\":" << stats_.snapshots_imported
+      << ",\"crashes\":" << stats_.crashes << ",\"failovers\":" << stats_.failovers
+      << ",\"last_crash_at\":" << stats_.last_crash_at
+      << ",\"last_promotion_at\":" << stats_.last_promotion_at << "}";
+  return out.str();
+}
+
+}  // namespace livesec::ha

@@ -1,0 +1,37 @@
+// Deterministic fault-injection plan for HA tests and benches: when to crash
+// the active controller, how the replication channel misbehaves, and which
+// switch gets partitioned from the control plane. All randomness draws from
+// the embedded seed, so a plan reproduces the same failure sequence run after
+// run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace livesec::ha {
+
+struct FaultPlan {
+  /// Seed of the RNG driving drop/delay/reorder decisions.
+  std::uint64_t seed = 1;
+
+  /// Crash the active controller at this simulation time (0 = never).
+  SimTime crash_active_at = 0;
+
+  /// Per-record probability that a replication delivery is lost.
+  double replication_drop_probability = 0;
+  /// Per-record probability that a delivery is delayed by `replication_extra_delay`.
+  double replication_delay_probability = 0;
+  /// Per-record probability that a delivery is held long enough for later
+  /// records to overtake it (same extra delay, counted separately).
+  double replication_reorder_probability = 0;
+  SimTime replication_extra_delay = 5 * kMillisecond;
+
+  /// Partition this switch from the control plane (its channel blackholes
+  /// both directions) during [partition_at, partition_heal_at).
+  DatapathId partition_dpid = 0;
+  SimTime partition_at = 0;
+  SimTime partition_heal_at = 0;
+};
+
+}  // namespace livesec::ha

@@ -1,0 +1,337 @@
+#include "ha/replication.h"
+
+#include <algorithm>
+
+#include "packet/buffer.h"
+
+namespace livesec::ha {
+
+namespace {
+
+/// Wire tag of each record type. Values are part of the format: append-only.
+enum class RecordType : std::uint8_t {
+  kHostLearned = 1,
+  kHostRemoved = 2,
+  kLsPort = 3,
+  kLink = 4,
+  kPolicyAdded = 5,
+  kPolicyRemoved = 6,
+  kDefaultAction = 7,
+  kSeUpsert = 8,
+  kSeRemoved = 9,
+  kFlowBlocked = 10,
+  kFlowUnblocked = 11,
+  kDhcpConfig = 12,
+  kDhcpLease = 13,
+  kDhcpRelease = 14,
+  kSwitchUp = 15,
+  kSwitchDown = 16,
+};
+
+void encode_mac(pkt::BufferWriter& w, const MacAddress& mac) { w.u64(mac.to_uint64()); }
+MacAddress decode_mac(pkt::BufferReader& r) { return MacAddress::from_uint64(r.u64()); }
+
+void encode_policy(pkt::BufferWriter& w, const ctrl::Policy& p) {
+  w.u32(p.id);
+  w.length_prefixed_string(p.name);
+  w.u32(static_cast<std::uint32_t>(p.priority));
+  // Presence bitmap over the optional predicates, in field order.
+  std::uint16_t present = 0;
+  const auto mark = [&present](int bit, bool on) {
+    if (on) present = static_cast<std::uint16_t>(present | (1u << bit));
+  };
+  mark(0, p.src_mac.has_value());
+  mark(1, p.dst_mac.has_value());
+  mark(2, p.nw_src.has_value());
+  mark(3, p.nw_src_prefix.has_value());
+  mark(4, p.nw_dst.has_value());
+  mark(5, p.nw_dst_prefix.has_value());
+  mark(6, p.nw_proto.has_value());
+  mark(7, p.tp_dst.has_value());
+  mark(8, p.vlan_id.has_value());
+  w.u16(present);
+  if (p.src_mac) encode_mac(w, *p.src_mac);
+  if (p.dst_mac) encode_mac(w, *p.dst_mac);
+  if (p.nw_src) w.u32(p.nw_src->value());
+  if (p.nw_src_prefix) w.u8(*p.nw_src_prefix);
+  if (p.nw_dst) w.u32(p.nw_dst->value());
+  if (p.nw_dst_prefix) w.u8(*p.nw_dst_prefix);
+  if (p.nw_proto) w.u8(*p.nw_proto);
+  if (p.tp_dst) w.u16(*p.tp_dst);
+  if (p.vlan_id) w.u16(*p.vlan_id);
+  w.u8(static_cast<std::uint8_t>(p.action));
+  w.u8(static_cast<std::uint8_t>(p.service_chain.size()));
+  for (svc::ServiceType service : p.service_chain) w.u8(static_cast<std::uint8_t>(service));
+  w.u8(static_cast<std::uint8_t>(p.granularity));
+}
+
+ctrl::Policy decode_policy(pkt::BufferReader& r) {
+  ctrl::Policy p;
+  p.id = r.u32();
+  p.name = r.length_prefixed_string();
+  p.priority = static_cast<std::int32_t>(r.u32());
+  const std::uint16_t present = r.u16();
+  const auto has = [present](int bit) { return (present & (1u << bit)) != 0; };
+  if (has(0)) p.src_mac = decode_mac(r);
+  if (has(1)) p.dst_mac = decode_mac(r);
+  if (has(2)) p.nw_src = Ipv4Address(r.u32());
+  if (has(3)) p.nw_src_prefix = r.u8();
+  if (has(4)) p.nw_dst = Ipv4Address(r.u32());
+  if (has(5)) p.nw_dst_prefix = r.u8();
+  if (has(6)) p.nw_proto = r.u8();
+  if (has(7)) p.tp_dst = r.u16();
+  if (has(8)) p.vlan_id = r.u16();
+  p.action = static_cast<ctrl::PolicyAction>(r.u8());
+  const std::uint8_t chain = r.u8();
+  p.service_chain.reserve(chain);
+  for (std::uint8_t i = 0; i < chain; ++i) {
+    p.service_chain.push_back(static_cast<svc::ServiceType>(r.u8()));
+  }
+  p.granularity = static_cast<ctrl::LbGranularity>(r.u8());
+  return p;
+}
+
+void encode_body(pkt::BufferWriter& w, const RecordBody& body) {
+  if (const auto* host = std::get_if<HostLearnedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kHostLearned));
+    encode_mac(w, host->mac);
+    w.u32(host->ip.value());
+    w.u64(host->dpid);
+    w.u32(host->port);
+    w.u64(host->seen_at);
+  } else if (const auto* gone = std::get_if<HostRemovedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kHostRemoved));
+    encode_mac(w, gone->mac);
+  } else if (const auto* ls = std::get_if<LsPortRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kLsPort));
+    w.u64(ls->dpid);
+    w.u32(ls->port);
+  } else if (const auto* link = std::get_if<LinkRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kLink));
+    w.u64(link->src);
+    w.u32(link->src_port);
+    w.u64(link->dst);
+    w.u32(link->dst_port);
+  } else if (const auto* added = std::get_if<PolicyAddedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kPolicyAdded));
+    encode_policy(w, added->policy);
+  } else if (const auto* removed = std::get_if<PolicyRemovedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kPolicyRemoved));
+    w.u32(removed->id);
+  } else if (const auto* def = std::get_if<DefaultActionRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kDefaultAction));
+    w.u8(static_cast<std::uint8_t>(def->action));
+  } else if (const auto* se = std::get_if<SeUpsertRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kSeUpsert));
+    w.u64(se->se_id);
+    encode_mac(w, se->mac);
+    w.u32(se->ip.value());
+    w.u8(static_cast<std::uint8_t>(se->service));
+    w.u64(se->dpid);
+    w.u32(se->port);
+    w.u64(se->seen_at);
+  } else if (const auto* se_gone = std::get_if<SeRemovedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kSeRemoved));
+    w.u64(se_gone->se_id);
+  } else if (const auto* blocked = std::get_if<FlowBlockedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kFlowBlocked));
+    blocked->key.encode(w);
+    w.u64(blocked->ingress_dpid);
+    w.u32(blocked->ingress_port);
+  } else if (const auto* unblocked = std::get_if<FlowUnblockedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kFlowUnblocked));
+    unblocked->key.encode(w);
+  } else if (const auto* dhcp = std::get_if<DhcpConfigRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kDhcpConfig));
+    w.u32(dhcp->base.value());
+    w.u32(dhcp->size);
+    w.u64(dhcp->lease_duration);
+  } else if (const auto* lease = std::get_if<DhcpLeaseRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kDhcpLease));
+    encode_mac(w, lease->mac);
+    w.u32(lease->ip.value());
+    w.u64(lease->expires);
+  } else if (const auto* release = std::get_if<DhcpReleaseRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kDhcpRelease));
+    encode_mac(w, release->mac);
+  } else if (const auto* up = std::get_if<SwitchUpRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kSwitchUp));
+    w.u64(up->dpid);
+    w.u32(up->num_ports);
+    w.length_prefixed_string(up->name);
+  } else {
+    const auto& down = std::get<SwitchDownRecord>(body);
+    w.u8(static_cast<std::uint8_t>(RecordType::kSwitchDown));
+    w.u64(down.dpid);
+  }
+}
+
+std::optional<RecordBody> decode_body(pkt::BufferReader& r) {
+  const auto type = static_cast<RecordType>(r.u8());
+  switch (type) {
+    case RecordType::kHostLearned: {
+      HostLearnedRecord host;
+      host.mac = decode_mac(r);
+      host.ip = Ipv4Address(r.u32());
+      host.dpid = r.u64();
+      host.port = r.u32();
+      host.seen_at = r.u64();
+      return host;
+    }
+    case RecordType::kHostRemoved: return HostRemovedRecord{decode_mac(r)};
+    case RecordType::kLsPort: {
+      LsPortRecord ls;
+      ls.dpid = r.u64();
+      ls.port = r.u32();
+      return ls;
+    }
+    case RecordType::kLink: {
+      LinkRecord link;
+      link.src = r.u64();
+      link.src_port = r.u32();
+      link.dst = r.u64();
+      link.dst_port = r.u32();
+      return link;
+    }
+    case RecordType::kPolicyAdded: return PolicyAddedRecord{decode_policy(r)};
+    case RecordType::kPolicyRemoved: return PolicyRemovedRecord{r.u32()};
+    case RecordType::kDefaultAction:
+      return DefaultActionRecord{static_cast<ctrl::PolicyAction>(r.u8())};
+    case RecordType::kSeUpsert: {
+      SeUpsertRecord se;
+      se.se_id = r.u64();
+      se.mac = decode_mac(r);
+      se.ip = Ipv4Address(r.u32());
+      se.service = static_cast<svc::ServiceType>(r.u8());
+      se.dpid = r.u64();
+      se.port = r.u32();
+      se.seen_at = r.u64();
+      return se;
+    }
+    case RecordType::kSeRemoved: return SeRemovedRecord{r.u64()};
+    case RecordType::kFlowBlocked: {
+      FlowBlockedRecord blocked;
+      blocked.key = pkt::FlowKey::decode(r);
+      blocked.ingress_dpid = r.u64();
+      blocked.ingress_port = r.u32();
+      return blocked;
+    }
+    case RecordType::kFlowUnblocked: return FlowUnblockedRecord{pkt::FlowKey::decode(r)};
+    case RecordType::kDhcpConfig: {
+      DhcpConfigRecord dhcp;
+      dhcp.base = Ipv4Address(r.u32());
+      dhcp.size = r.u32();
+      dhcp.lease_duration = r.u64();
+      return dhcp;
+    }
+    case RecordType::kDhcpLease: {
+      DhcpLeaseRecord lease;
+      lease.mac = decode_mac(r);
+      lease.ip = Ipv4Address(r.u32());
+      lease.expires = r.u64();
+      return lease;
+    }
+    case RecordType::kDhcpRelease: return DhcpReleaseRecord{decode_mac(r)};
+    case RecordType::kSwitchUp: {
+      SwitchUpRecord up;
+      up.dpid = r.u64();
+      up.num_ports = r.u32();
+      up.name = r.length_prefixed_string();
+      return up;
+    }
+    case RecordType::kSwitchDown: return SwitchDownRecord{r.u64()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* record_name(const RecordBody& body) {
+  struct Namer {
+    const char* operator()(const HostLearnedRecord&) { return "host_learned"; }
+    const char* operator()(const HostRemovedRecord&) { return "host_removed"; }
+    const char* operator()(const LsPortRecord&) { return "ls_port"; }
+    const char* operator()(const LinkRecord&) { return "link"; }
+    const char* operator()(const PolicyAddedRecord&) { return "policy_added"; }
+    const char* operator()(const PolicyRemovedRecord&) { return "policy_removed"; }
+    const char* operator()(const DefaultActionRecord&) { return "default_action"; }
+    const char* operator()(const SeUpsertRecord&) { return "se_upsert"; }
+    const char* operator()(const SeRemovedRecord&) { return "se_removed"; }
+    const char* operator()(const FlowBlockedRecord&) { return "flow_blocked"; }
+    const char* operator()(const FlowUnblockedRecord&) { return "flow_unblocked"; }
+    const char* operator()(const DhcpConfigRecord&) { return "dhcp_config"; }
+    const char* operator()(const DhcpLeaseRecord&) { return "dhcp_lease"; }
+    const char* operator()(const DhcpReleaseRecord&) { return "dhcp_release"; }
+    const char* operator()(const SwitchUpRecord&) { return "switch_up"; }
+    const char* operator()(const SwitchDownRecord&) { return "switch_down"; }
+  };
+  return std::visit(Namer{}, body);
+}
+
+std::vector<std::uint8_t> encode_record(const ReplicationRecord& record) {
+  pkt::BufferWriter w;
+  w.u16(kReplicationFormatVersion);
+  w.u64(record.seq);
+  encode_body(w, record.body);
+  return w.take();
+}
+
+std::optional<ReplicationRecord> decode_record(std::span<const std::uint8_t> bytes) {
+  pkt::BufferReader r(bytes);
+  if (r.u16() != kReplicationFormatVersion) return std::nullopt;
+  ReplicationRecord record;
+  record.seq = r.u64();
+  auto body = decode_body(r);
+  if (!body || !r.ok() || r.remaining() != 0) return std::nullopt;
+  record.body = std::move(*body);
+  return record;
+}
+
+std::vector<std::uint8_t> encode_snapshot_records(const std::vector<RecordBody>& records) {
+  pkt::BufferWriter w;
+  w.u16(kReplicationFormatVersion);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const RecordBody& body : records) encode_body(w, body);
+  return w.take();
+}
+
+std::optional<std::vector<RecordBody>> decode_snapshot_records(
+    std::span<const std::uint8_t> bytes) {
+  pkt::BufferReader r(bytes);
+  if (r.u16() != kReplicationFormatVersion) return std::nullopt;
+  const std::uint32_t count = r.u32();
+  std::vector<RecordBody> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto body = decode_body(r);
+    if (!body) return std::nullopt;
+    records.push_back(std::move(*body));
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return records;
+}
+
+std::uint64_t ReplicationLog::append(RecordBody body) {
+  const std::uint64_t seq = next_seq_++;
+  records_.push_back(ReplicationRecord{seq, std::move(body)});
+  return seq;
+}
+
+std::optional<std::vector<ReplicationRecord>> ReplicationLog::since(
+    std::uint64_t after_seq) const {
+  // The span (after_seq, head] must be fully retained; a truncated prefix
+  // means the caller can only recover through a snapshot.
+  if (after_seq < truncated_through_) return std::nullopt;
+  std::vector<ReplicationRecord> out;
+  for (const ReplicationRecord& record : records_) {
+    if (record.seq > after_seq) out.push_back(record);
+  }
+  return out;
+}
+
+void ReplicationLog::truncate(std::uint64_t through_seq) {
+  while (!records_.empty() && records_.front().seq <= through_seq) records_.pop_front();
+  truncated_through_ = std::max(truncated_through_, through_seq);
+}
+
+}  // namespace livesec::ha

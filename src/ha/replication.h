@@ -1,0 +1,216 @@
+// Active-standby state replication for the LiveSec controller.
+//
+// The paper's controller (§III.C) is one NOX process holding every piece of
+// security-relevant state: host locations, the policy table, the SE registry,
+// blocked flows, DHCP leases and the AS-layer link table. This module defines
+// the versioned record stream through which an active controller mirrors that
+// state to standbys, plus the log/snapshot machinery that lets a standby
+// bootstrap and catch up after loss.
+//
+// Design:
+//  - Every state mutation on the active is one `RecordBody`, serialized with
+//    a format version + monotonically increasing sequence number.
+//  - `ReplicationLog` retains encoded records for retransmission; a periodic
+//    snapshot (the full state re-expressed *as records*) allows truncation.
+//    Snapshot import is therefore just "apply each contained record", so the
+//    bootstrap path and the incremental path share one code path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ip_address.h"
+#include "common/mac_address.h"
+#include "common/types.h"
+#include "controller/policy.h"
+#include "packet/flow_key.h"
+#include "services/message.h"
+
+namespace livesec::ha {
+
+/// Bumped when the record wire format changes; a standby refuses records
+/// carrying a different version (mixed-version clusters resync via snapshot).
+inline constexpr std::uint16_t kReplicationFormatVersion = 1;
+
+// --- record bodies -----------------------------------------------------------
+
+/// A host (or SE NIC) was learned or refreshed at an attachment point.
+struct HostLearnedRecord {
+  MacAddress mac;
+  Ipv4Address ip;
+  DatapathId dpid = 0;
+  PortId port = kInvalidPort;
+  SimTime seen_at = 0;
+};
+
+/// A host left (explicit removal or ARP expiry).
+struct HostRemovedRecord {
+  MacAddress mac;
+};
+
+/// A switch's Legacy-Switching uplink port (configured or LLDP-learned).
+struct LsPortRecord {
+  DatapathId dpid = 0;
+  PortId port = kInvalidPort;
+};
+
+/// An AS-layer link discovered via LLDP.
+struct LinkRecord {
+  DatapathId src = 0;
+  PortId src_port = kInvalidPort;
+  DatapathId dst = 0;
+  PortId dst_port = kInvalidPort;
+};
+
+/// A policy was added (carries the full policy, id included, so replay via
+/// PolicyTable::add reproduces the same id).
+struct PolicyAddedRecord {
+  ctrl::Policy policy;
+};
+
+struct PolicyRemovedRecord {
+  std::uint32_t id = 0;
+};
+
+struct DefaultActionRecord {
+  ctrl::PolicyAction action = ctrl::PolicyAction::kAllow;
+};
+
+/// An SE came online, refreshed, or migrated (latest attachment point wins).
+struct SeUpsertRecord {
+  std::uint64_t se_id = 0;
+  MacAddress mac;
+  Ipv4Address ip;
+  svc::ServiceType service = svc::ServiceType::kIntrusionDetection;
+  DatapathId dpid = 0;
+  PortId port = kInvalidPort;
+  SimTime seen_at = 0;
+};
+
+struct SeRemovedRecord {
+  std::uint64_t se_id = 0;
+};
+
+/// A flow was blocked by a security event (attack/virus/content/firewall or
+/// aggregate limit). The ingress is carried so a promoted standby can
+/// re-install the drop entry without waiting for the flow's next packet-in.
+struct FlowBlockedRecord {
+  pkt::FlowKey key;
+  DatapathId ingress_dpid = 0;
+  PortId ingress_port = kInvalidPort;
+};
+
+struct FlowUnblockedRecord {
+  pkt::FlowKey key;
+};
+
+/// DHCP pool configuration (emitted on enable_dhcp and in snapshots, so a
+/// standby can serve leases without out-of-band configuration).
+struct DhcpConfigRecord {
+  Ipv4Address base;
+  std::uint32_t size = 0;
+  SimTime lease_duration = 0;
+};
+
+struct DhcpLeaseRecord {
+  MacAddress mac;
+  Ipv4Address ip;
+  SimTime expires = 0;
+};
+
+struct DhcpReleaseRecord {
+  MacAddress mac;
+};
+
+/// A switch completed its channel handshake on the active.
+struct SwitchUpRecord {
+  DatapathId dpid = 0;
+  std::uint32_t num_ports = 0;
+  std::string name;
+};
+
+struct SwitchDownRecord {
+  DatapathId dpid = 0;
+};
+
+using RecordBody =
+    std::variant<HostLearnedRecord, HostRemovedRecord, LsPortRecord, LinkRecord,
+                 PolicyAddedRecord, PolicyRemovedRecord, DefaultActionRecord, SeUpsertRecord,
+                 SeRemovedRecord, FlowBlockedRecord, FlowUnblockedRecord, DhcpConfigRecord,
+                 DhcpLeaseRecord, DhcpReleaseRecord, SwitchUpRecord, SwitchDownRecord>;
+
+const char* record_name(const RecordBody& body);
+
+/// One replicated record as it travels the replication channel.
+struct ReplicationRecord {
+  std::uint64_t seq = 0;
+  RecordBody body;
+};
+
+/// Serializes {format version, seq, type, payload} in network byte order.
+std::vector<std::uint8_t> encode_record(const ReplicationRecord& record);
+
+/// Returns nullopt on a format-version mismatch or malformed payload.
+std::optional<ReplicationRecord> decode_record(std::span<const std::uint8_t> bytes);
+
+// --- sink --------------------------------------------------------------------
+
+/// Where an active controller publishes its state mutations. The controller
+/// calls this synchronously at every mutation site; the cluster assigns the
+/// sequence number and fans the record out to standbys.
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+  virtual void replicate(RecordBody body) = 0;
+};
+
+// --- log + snapshot ----------------------------------------------------------
+
+/// A full-state snapshot: the active's state re-expressed as records.
+/// Importing = applying each record in order onto a reset controller.
+struct Snapshot {
+  /// Every record with seq <= through_seq is reflected in the snapshot.
+  std::uint64_t through_seq = 0;
+  /// Count-prefixed concatenation of encoded records.
+  std::vector<std::uint8_t> bytes;
+};
+
+std::vector<std::uint8_t> encode_snapshot_records(const std::vector<RecordBody>& records);
+std::optional<std::vector<RecordBody>> decode_snapshot_records(
+    std::span<const std::uint8_t> bytes);
+
+/// Ordered record retention between snapshots. Appends assign sequence
+/// numbers; `since()` serves catch-up requests from lagging standbys;
+/// `truncate()` discards everything a snapshot already covers.
+class ReplicationLog {
+ public:
+  /// Appends a record, assigning the next sequence number (returned).
+  std::uint64_t append(RecordBody body);
+
+  /// Records with seq > after_seq, oldest first. Returns nullopt when the
+  /// span was truncated away (caller must bootstrap from a snapshot).
+  std::optional<std::vector<ReplicationRecord>> since(std::uint64_t after_seq) const;
+
+  /// Drops records with seq <= through_seq.
+  void truncate(std::uint64_t through_seq);
+
+  /// Sequence number of the newest appended record (0 = none yet).
+  std::uint64_t head_seq() const { return next_seq_ - 1; }
+  /// Oldest retained sequence number (0 = log is empty).
+  std::uint64_t base_seq() const { return records_.empty() ? 0 : records_.front().seq; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::uint64_t next_seq_ = 1;
+  /// Highest sequence number dropped by truncate(); since() requests at or
+  /// below it must bootstrap from a snapshot even when the log is empty.
+  std::uint64_t truncated_through_ = 0;
+  std::deque<ReplicationRecord> records_;
+};
+
+}  // namespace livesec::ha

@@ -26,6 +26,8 @@ const char* event_type_name(EventType type) {
     case EventType::kAggregateLimitHit: return "aggregate_limit_hit";
     case EventType::kSeMigrated: return "se_migrated";
     case EventType::kHostMoved: return "host_moved";
+    case EventType::kFailover: return "failover";
+    case EventType::kReconciled: return "reconciled";
   }
   return "?";
 }

@@ -33,6 +33,8 @@ enum class EventType : std::uint8_t {
   kAggregateLimitHit,
   kSeMigrated,
   kHostMoved,
+  kFailover,
+  kReconciled,
 };
 
 const char* event_type_name(EventType type);

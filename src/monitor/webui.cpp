@@ -90,7 +90,12 @@ std::string WebUi::snapshot_json(SimTime events_from, SimTime events_to) const {
       << ",\"pending_setups_parked\":" << fp.pending_setups_parked
       << ",\"pending_setups_completed\":" << fp.pending_setups_completed
       << ",\"pending_setups_expired\":" << fp.pending_setups_expired
-      << ",\"batched_flow_mods\":" << fp.batched_flow_mods << "},";
+      << ",\"batched_flow_mods\":" << fp.batched_flow_mods
+      << ",\"echo_timeouts\":" << stats.echo_timeouts
+      << ",\"channel_outbox_dropped\":" << controller_->channel_outbox_dropped()
+      << ",\"channel_backlog\":" << controller_->channel_backlog() << "},";
+
+  if (ha_status_) out << "\"ha\":" << ha_status_() << ",";
 
   out << "\"events\":" << controller_->events().to_json(events_from, events_to);
   out << "}";
@@ -152,6 +157,10 @@ std::string WebUi::snapshot_text(SimTime events_from, SimTime events_to) const {
   out << "  pending setups: " << controller_->pending_setup_count() << " parked ("
       << fp.pending_setups_completed << " completed, " << fp.pending_setups_expired
       << " expired)\n";
+  out << "  channel backpressure: " << controller_->channel_backlog() << " in flight, "
+      << controller_->channel_outbox_dropped() << " dropped\n";
+  out << "  echo timeouts: " << stats.echo_timeouts << "\n";
+  if (ha_status_) out << "--- high availability ---\n  " << ha_status_() << "\n";
 
   out << "--- events ---\n";
   controller_->events().replay(events_from, events_to, [&out](const NetworkEvent& e) {

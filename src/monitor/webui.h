@@ -3,6 +3,7 @@
 // and as ASCII (terminal display), plus history replay.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/types.h"
@@ -14,6 +15,13 @@ namespace livesec::mon {
 class WebUi {
  public:
   explicit WebUi(const ctrl::Controller& controller) : controller_(&controller) {}
+
+  /// Hooks up the HA status panel: `provider` must return one JSON object
+  /// (e.g. ha::HaCluster::status_json). Kept as a callback so the monitor
+  /// layer does not depend on the HA subsystem.
+  void set_ha_status_provider(std::function<std::string()> provider) {
+    ha_status_ = std::move(provider);
+  }
 
   /// Full JSON snapshot: switches, periphery nodes, links, users with their
   /// dominant application, service elements with load, and the events in
@@ -30,6 +38,7 @@ class WebUi {
 
  private:
   const ctrl::Controller* controller_;
+  std::function<std::string()> ha_status_;
 };
 
 }  // namespace livesec::mon

@@ -8,11 +8,24 @@ namespace livesec::net {
 Network::Network() : Network(ctrl::Controller::Config{}) {}
 
 Network::Network(ctrl::Controller::Config controller_config)
-    : controller_(sim_, controller_config) {}
+    : controller_config_(controller_config), controller_(sim_, controller_config) {}
 
 void Network::enable_wire_encoding() {
   wire_encoding_ = true;
   for (auto& channel : channels_) channel->set_wire_encoding(true);
+  if (ha_) ha_->enable_wire_encoding();
+}
+
+void Network::enable_ha(std::size_t standbys, ha::HaCluster::Config config, ha::FaultPlan plan) {
+  assert(!ha_ && "enable_ha called twice");
+  assert(channels_.empty() && "enable_ha must precede AS switch / AP creation");
+  ha_ = std::make_unique<ha::HaCluster>(sim_, config, plan);
+  ha_->add_node(controller_);
+  for (std::size_t i = 0; i < standbys; ++i) {
+    standby_controllers_.push_back(
+        std::make_unique<ctrl::Controller>(sim_, controller_config_));
+    ha_->add_node(*standby_controllers_.back());
+  }
 }
 
 MacAddress Network::allocate_mac() {
@@ -123,6 +136,7 @@ sw::OpenFlowSwitch& Network::add_as_switch(const std::string& name, sw::Ethernet
   channels_.push_back(std::make_unique<of::SecureChannel>(sim_, as_switch, controller_));
   channels_.back()->set_wire_encoding(wire_encoding_);
   controller_.attach_channel(dpid, *channels_.back(), topo::NodeKind::kAsSwitch);
+  if (ha_) ha_->manage_switch(as_switch, *channels_.back(), topo::NodeKind::kAsSwitch);
   as_switch.connect_controller(*channels_.back());
   return as_switch;
 }
@@ -140,6 +154,7 @@ sw::WifiAccessPoint& Network::add_wifi_ap(const std::string& name, sw::EthernetS
   channels_.push_back(std::make_unique<of::SecureChannel>(sim_, ap, controller_));
   channels_.back()->set_wire_encoding(wire_encoding_);
   controller_.attach_channel(dpid, *channels_.back(), topo::NodeKind::kWifiAp);
+  if (ha_) ha_->manage_switch(ap, *channels_.back(), topo::NodeKind::kWifiAp);
   ap.connect_controller(*channels_.back());
   return ap;
 }
@@ -224,6 +239,7 @@ void Network::start(SimTime settle) {
   assert(!started_ && "start() must be called once");
   started_ = true;
   controller_.start_housekeeping();
+  if (ha_) ha_->start();
   for (auto& se : service_elements_) se->start();
   // Stagger announcements a little so ARP packet-ins don't all share one
   // timestamp (keeps event ordering realistic; determinism is unaffected).

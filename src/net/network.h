@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "controller/controller.h"
+#include "ha/cluster.h"
 #include "net/host.h"
 #include "services/service_element.h"
 #include "sim/simulator.h"
@@ -31,6 +32,22 @@ class Network {
 
   sim::Simulator& sim() { return sim_; }
   ctrl::Controller& controller() { return controller_; }
+
+  /// Runs the controller as an active-standby cluster: `standbys` extra
+  /// Controller instances are created (same Config as the primary) and every
+  /// subsequently added AS switch / AP is registered with the cluster, which
+  /// replicates state to the standbys and handles failover. Must be called
+  /// before any AS switch or AP is added. The primary controller
+  /// (controller()) is the initial active.
+  void enable_ha(std::size_t standbys, ha::HaCluster::Config config = {},
+                 ha::FaultPlan plan = {});
+  /// Null unless enable_ha was called.
+  ha::HaCluster* ha_cluster() { return ha_.get(); }
+  /// The controller currently holding mastership (== controller() until a
+  /// failover promotes a standby).
+  ctrl::Controller& active_controller() {
+    return ha_ ? ha_->active_controller() : controller_;
+  }
 
   /// Routes every secure-channel message through the byte-level OpenFlow
   /// wire codec (as a real TCP/TLS control connection would). Applies to
@@ -123,7 +140,10 @@ class Network {
             SimTime propagation = 5 * kMicrosecond);
 
   sim::Simulator sim_;
+  ctrl::Controller::Config controller_config_;
   ctrl::Controller controller_;
+  std::vector<std::unique_ptr<ctrl::Controller>> standby_controllers_;
+  std::unique_ptr<ha::HaCluster> ha_;
 
   std::vector<std::unique_ptr<sw::EthernetSwitch>> legacy_;
   std::vector<std::unique_ptr<sw::OpenFlowSwitch>> as_switches_;

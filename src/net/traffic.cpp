@@ -1,7 +1,9 @@
 #include "net/traffic.h"
 
 #include <algorithm>
+#include <string_view>
 
+#include "services/l7/l7_classifier.h"
 #include "sim/simulator.h"
 
 namespace livesec::net {
@@ -215,12 +217,11 @@ void BitTorrentApp::start() {
   started_at_ = host_->simulator().now();
   if (!handshakes_sent_) {
     handshakes_sent_ = true;
+    // 20-byte stand-ins; real clients put a SHA-1 and a client fingerprint here.
+    constexpr std::string_view kDemoInfoHash = "INFOHASHINFOHASHXXXX";
+    constexpr std::string_view kDemoPeerId = "PEERIDPEERIDPEERIDPE";
+    const std::string handshake = svc::l7::make_bittorrent_handshake(kDemoInfoHash, kDemoPeerId);
     for (std::size_t i = 0; i < config_.peers.size(); ++i) {
-      std::string handshake = "\x13";
-      handshake += "BitTorrent protocol";
-      handshake.append(8, '\0');
-      handshake += "INFOHASHINFOHASHXXXX";  // 20-byte info hash stand-in
-      handshake += "PEERIDPEERIDPEERIDPE";  // 20-byte peer id stand-in
       pkt::Packet packet =
           pkt::PacketBuilder()
               .ipv4(host_->ip(), config_.peers[i], pkt::IpProto::kTcp)

@@ -38,6 +38,14 @@ std::optional<Message> SecureChannel::transport(Message&& message) {
 
 void SecureChannel::send_to_controller(Message message) {
   if (!connected_) return;
+  if (blackhole_) {
+    ++blackholed_;
+    return;
+  }
+  if (outbox_limit_ != 0 && outbox_controller_.size() >= outbox_limit_) {
+    ++outbox_dropped_;
+    return;
+  }
   auto carried = transport(std::move(message));
   if (!carried) return;
   ++to_controller_;
@@ -67,6 +75,14 @@ void SecureChannel::send_to_switch(Message message) {
 }
 
 void SecureChannel::deliver_to_switch(Message message) {
+  if (blackhole_) {
+    ++blackholed_;
+    return;
+  }
+  if (outbox_limit_ != 0 && outbox_switch_.size() >= outbox_limit_) {
+    ++outbox_dropped_;
+    return;
+  }
   ++to_switch_;
   outbox_switch_.push_back(std::move(message));
   sim_->schedule(latency_, [this]() {

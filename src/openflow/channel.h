@@ -61,6 +61,26 @@ class SecureChannel {
   void disconnect();
   bool connected() const { return connected_; }
 
+  /// Caps the number of in-flight messages per direction. A send beyond the
+  /// cap is dropped and counted — the control connection applies
+  /// backpressure instead of queueing unboundedly (a replication or stats
+  /// burst must not grow the outbox without limit). 0 = unbounded.
+  void set_outbox_limit(std::size_t limit) { outbox_limit_ = limit; }
+  std::size_t outbox_limit() const { return outbox_limit_; }
+  /// Messages dropped by the outbox bound (both directions).
+  std::uint64_t outbox_dropped() const { return outbox_dropped_; }
+  /// Current in-flight depth per direction (backpressure observability).
+  std::size_t outbox_depth_to_switch() const { return outbox_switch_.size(); }
+  std::size_t outbox_depth_to_controller() const { return outbox_controller_.size(); }
+
+  /// Fault injection: while set, the channel stays "connected" but silently
+  /// loses every message in both directions — a network partition as TCP
+  /// experiences it before keepalives fire. OFPT_ECHO liveness is what
+  /// detects this state.
+  void set_blackhole(bool enabled) { blackhole_ = enabled; }
+  bool blackhole() const { return blackhole_; }
+  std::uint64_t blackholed_messages() const { return blackholed_; }
+
   /// Switch -> controller, delivered after the channel latency.
   void send_to_controller(Message message);
   /// Controller -> switch, delivered after the channel latency.
@@ -96,9 +116,15 @@ class SecureChannel {
   std::deque<Message> outbox_controller_;
   bool connected_ = false;
   bool wire_encoding_ = false;
+  bool blackhole_ = false;
+  /// Default bound: far above any healthy latency-window backlog, small
+  /// enough that a runaway sender degrades into counted drops, not OOM.
+  std::size_t outbox_limit_ = 8192;
   std::uint64_t to_controller_ = 0;
   std::uint64_t to_switch_ = 0;
   std::uint64_t wire_failures_ = 0;
+  std::uint64_t outbox_dropped_ = 0;
+  std::uint64_t blackholed_ = 0;
   std::uint32_t next_xid_ = 1;
 };
 

@@ -98,6 +98,10 @@ struct FlowStats {
   std::uint16_t priority = 0;
   std::uint64_t packet_count = 0;
   std::uint64_t byte_count = 0;
+  /// True when the entry discards matching packets (its action list drops).
+  /// Post-failover reconciliation audits drop entries against the promoted
+  /// controller's replicated blocked-flow state.
+  bool drop = false;
 };
 
 /// Switch -> controller: statistics snapshot.

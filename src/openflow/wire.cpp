@@ -258,6 +258,7 @@ std::vector<std::uint8_t> encode_message(const Message& message, std::uint32_t x
       body.u16(flow.priority);
       body.u64(flow.packet_count);
       body.u64(flow.byte_count);
+      body.u8(flow.drop ? 1 : 0);
     }
   }
 
@@ -362,6 +363,7 @@ std::optional<DecodedFrame> decode_message(std::span<const std::uint8_t> frame) 
         flow.priority = r.u16();
         flow.packet_count = r.u64();
         flow.byte_count = r.u64();
+        flow.drop = r.u8() != 0;
         stats.flows.push_back(std::move(flow));
       }
       out.message = std::move(stats);

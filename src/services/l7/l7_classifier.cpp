@@ -29,7 +29,7 @@ const std::vector<ProtocolPattern>& default_patterns() {
       {AppProtocol::kHttp, "HTTP/1.", false, 80},
       {AppProtocol::kSsh, "SSH-2.0", true, 22},
       {AppProtocol::kSsh, "SSH-1.99", true, 22},
-      {AppProtocol::kBitTorrent, "\x13" "BitTorrent protocol", true, 6881},
+      {AppProtocol::kBitTorrent, std::string(kBitTorrentProtocolHeader), true, 6881},
       {AppProtocol::kBitTorrent, "d1:ad2:id20:", true, 6881},  // DHT query
       {AppProtocol::kFtp, "220 ", true, 21},
       {AppProtocol::kFtp, "USER ", true, 21},
@@ -40,6 +40,18 @@ const std::vector<ProtocolPattern>& default_patterns() {
       {AppProtocol::kSip, "REGISTER sip:", true, 5060},
   };
   return kPatterns;
+}
+
+std::string make_bittorrent_handshake(std::string_view info_hash, std::string_view peer_id) {
+  std::string handshake(kBitTorrentProtocolHeader);
+  handshake.append(8, '\0');  // reserved extension bits
+  const auto append_fixed20 = [&handshake](std::string_view field) {
+    handshake.append(field.substr(0, 20));
+    if (field.size() < 20) handshake.append(20 - field.size(), '\0');
+  };
+  append_fixed20(info_hash);
+  append_fixed20(peer_id);
+  return handshake;
 }
 
 L7Classifier::L7Classifier() : L7Classifier(default_patterns()) {}

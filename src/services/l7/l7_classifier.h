@@ -5,12 +5,23 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "packet/flow_key.h"
 
 namespace livesec::svc::l7 {
+
+/// The BitTorrent wire-protocol handshake header (BEP 3): one length byte
+/// (19) followed by the protocol string. Shared by the classifier pattern
+/// and the traffic generator so they cannot drift apart.
+inline constexpr std::string_view kBitTorrentProtocolHeader = "\x13" "BitTorrent protocol";
+
+/// Builds the full 68-byte BitTorrent handshake: header, 8 reserved bytes,
+/// then `info_hash` and `peer_id` each truncated / zero-padded to their
+/// fixed 20-byte fields.
+std::string make_bittorrent_handshake(std::string_view info_hash, std::string_view peer_id);
 
 /// Application protocols the classifier recognizes — the set visible in the
 /// paper's WebUI figures (web browsing, SSH, BitTorrent) plus common campus

@@ -202,7 +202,20 @@ void OpenFlowSwitch::handle_controller_message(const of::Message& message) {
     reply.table_hits = table_.hits();
     reply.flows.reserve(table_.size());
     table_.for_each_entry([&reply](const of::FlowEntry& e) {
-      reply.flows.push_back(of::FlowStats{e.match, e.priority, e.packet_count, e.byte_count});
+      // An entry drops when its action list is empty or an explicit drop
+      // action precedes any output — how the controller's of::drop() and an
+      // action-less FlowMod both look on the datapath.
+      bool drops = true;
+      for (const of::Action& action : e.actions) {
+        if (std::get_if<of::ActionDrop>(&action) != nullptr) break;
+        if (std::get_if<of::ActionOutput>(&action) != nullptr ||
+            std::get_if<of::ActionFlood>(&action) != nullptr ||
+            std::get_if<of::ActionController>(&action) != nullptr) {
+          drops = false;
+          break;
+        }
+      }
+      reply.flows.push_back(of::FlowStats{e.match, e.priority, e.packet_count, e.byte_count, drops});
     });
     if (channel_) channel_->send_to_controller(std::move(reply));
   }

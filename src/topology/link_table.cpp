@@ -33,6 +33,13 @@ std::vector<AsLink> LinkTable::links_from(DatapathId src) const {
   return out;
 }
 
+std::vector<AsLink> LinkTable::all() const {
+  std::vector<AsLink> out;
+  out.reserve(links_.size());
+  for (const auto& [key, link] : links_) out.push_back(link);
+  return out;
+}
+
 bool LinkTable::is_full_mesh(const std::vector<DatapathId>& switches) const {
   for (DatapathId a : switches) {
     for (DatapathId b : switches) {

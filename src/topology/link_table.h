@@ -41,6 +41,10 @@ class LinkTable {
   /// All links from `src`.
   std::vector<AsLink> links_from(DatapathId src) const;
 
+  /// Every directed link, in deterministic (src, dst) order — the
+  /// replication snapshot re-expresses the table through this.
+  std::vector<AsLink> all() const;
+
   /// Total number of directed links.
   std::size_t size() const { return links_.size(); }
 

@@ -336,6 +336,30 @@ TEST(L7Classifier, IdentifiesCommonProtocols) {
             l7::AppProtocol::kSmtp);
 }
 
+TEST(L7Classifier, BitTorrentHandshakeHelperMatchesClassifier) {
+  // A handshake built by the shared helper must be exactly the BEP 3 layout
+  // and must classify as BitTorrent (the generator and classifier share the
+  // kBitTorrentProtocolHeader constant, so they cannot drift apart).
+  const std::string handshake =
+      l7::make_bittorrent_handshake("INFOHASHINFOHASHXXXX", "PEERIDPEERIDPEERIDPE");
+  ASSERT_EQ(handshake.size(), 68u);
+  EXPECT_EQ(handshake[0], '\x13');
+  EXPECT_EQ(handshake.substr(1, 19), "BitTorrent protocol");
+  EXPECT_EQ(handshake.substr(20, 8), std::string(8, '\0'));  // reserved bits
+  EXPECT_EQ(handshake.substr(28, 20), "INFOHASHINFOHASHXXXX");
+  EXPECT_EQ(handshake.substr(48, 20), "PEERIDPEERIDPEERIDPE");
+
+  l7::L7Classifier classifier;
+  EXPECT_EQ(classifier.classify(flow_packet(handshake, 1010, 6881)).proto,
+            l7::AppProtocol::kBitTorrent);
+
+  // Short ids are zero-padded to their fixed 20-byte fields, long ones cut.
+  const std::string padded = l7::make_bittorrent_handshake("short", std::string(30, 'p'));
+  ASSERT_EQ(padded.size(), 68u);
+  EXPECT_EQ(padded.substr(28, 20), std::string("short") + std::string(15, '\0'));
+  EXPECT_EQ(padded.substr(48, 20), std::string(20, 'p'));
+}
+
 TEST(L7Classifier, FreshFlagFiresExactlyOnce) {
   l7::L7Classifier classifier;
   const auto first = classifier.classify(flow_packet("GET / HTTP/1.1\r\n", 2000, 80));
