@@ -349,6 +349,9 @@ void Controller::handle_daemon(DatapathId dpid, PortId in_port, const pkt::Packe
   } else if (const auto* event = std::get_if<svc::EventMessage>(&message->body)) {
     const SeRecord* se = registry_.find(message->se_id);
     if (se != nullptr) handle_daemon_event(*se, *event);
+  } else if (const auto* verdict = std::get_if<svc::VerdictMessage>(&message->body)) {
+    const SeRecord* se = registry_.find(message->se_id);
+    if (se != nullptr) handle_daemon_verdict(*se, *verdict);
   }
 }
 
@@ -381,29 +384,7 @@ void Controller::handle_daemon_event(const SeRecord& se, const svc::EventMessage
               : mon::EventType::kContentViolation;
       raise(type, original.dl_src.to_string(), event.description, se.dpid, se.se_id,
             event.severity, &original);
-
-      BlockedFlowInfo ingress;
-      if (record_it != flows_.end()) {
-        ingress = BlockedFlowInfo{record_it->second.ingress_dpid, record_it->second.ingress_port};
-      }
-      blocked_flows_.insert_or_assign(original, ingress);
-      replicate(ha::FlowBlockedRecord{original, ingress.ingress_dpid, ingress.ingress_port});
-      if (record_it != flows_.end() && !record_it->second.blocked) {
-        FlowRecord& record = record_it->second;
-        record.blocked = true;
-        // Paper §IV.A: "modify relevant flow entries with the drop action in
-        // the ingress AS switch, to block this flow at the entrance".
-        of::FlowMod mod;
-        mod.command = of::FlowModCommand::kModifyStrict;
-        mod.entry.match = of::Match::exact(record.ingress_port, record.key);
-        mod.entry.priority = config_.flow_priority;
-        mod.entry.actions = of::drop();
-        send_flow_mod(record.ingress_dpid, mod);
-        ++stats_.flows_blocked_by_event;
-        raise(mon::EventType::kFlowBlocked, original.dl_src.to_string(),
-              "blocked at ingress dpid=" + std::to_string(record.ingress_dpid),
-              record.ingress_dpid, se.se_id, event.severity, &original);
-      }
+      block_flow_at_ingress(original, se.se_id, event.severity);
       break;
     }
     case svc::EventKind::kProtocolIdentified: {
@@ -423,6 +404,7 @@ void Controller::handle_daemon_event(const SeRecord& se, const svc::EventMessage
                 record.key, BlockedFlowInfo{record.ingress_dpid, record.ingress_port});
             replicate(
                 ha::FlowBlockedRecord{record.key, record.ingress_dpid, record.ingress_port});
+            forget_offload(record.key);
             record.blocked = true;
             of::FlowMod mod;
             mod.command = of::FlowModCommand::kModifyStrict;
@@ -438,6 +420,85 @@ void Controller::handle_daemon_event(const SeRecord& se, const svc::EventMessage
       }
       break;
     }
+  }
+}
+
+void Controller::block_flow_at_ingress(const pkt::FlowKey& original, std::uint64_t se_id,
+                                       std::uint8_t severity) {
+  auto record_it = flows_.find(original);
+  BlockedFlowInfo ingress;
+  if (record_it != flows_.end()) {
+    ingress = BlockedFlowInfo{record_it->second.ingress_dpid, record_it->second.ingress_port};
+  }
+  blocked_flows_.insert_or_assign(original, ingress);
+  replicate(ha::FlowBlockedRecord{original, ingress.ingress_dpid, ingress.ingress_port});
+  // A blocked flow must never replay a benign cut-through.
+  forget_offload(original);
+  if (record_it != flows_.end() && !record_it->second.blocked) {
+    FlowRecord& record = record_it->second;
+    record.blocked = true;
+    // Paper §IV.A: "modify relevant flow entries with the drop action in
+    // the ingress AS switch, to block this flow at the entrance".
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kModifyStrict;
+    mod.entry.match = of::Match::exact(record.ingress_port, record.key);
+    mod.entry.priority = config_.flow_priority;
+    mod.entry.actions = of::drop();
+    // Bounds the entry if the modify falls back to an insert (entry expired
+    // under the in-flight event) — same lifetime as install_drop().
+    mod.entry.idle_timeout = config_.flow_idle_timeout * 3;
+    send_flow_mod(record.ingress_dpid, mod);
+    ++stats_.flows_blocked_by_event;
+    raise(mon::EventType::kFlowBlocked, original.dl_src.to_string(),
+          "blocked at ingress dpid=" + std::to_string(record.ingress_dpid), record.ingress_dpid,
+          se_id, severity, &original);
+  }
+}
+
+void Controller::handle_daemon_verdict(const SeRecord& se, const svc::VerdictMessage& verdict) {
+  ++stats_.verdict_messages;
+  // Same key mapping as event reports: steered variant -> original forward
+  // key, reverse direction folded onto the session's forward key.
+  pkt::FlowKey original = verdict.flow;
+  if (auto it = steered_index_.find(original); it != steered_index_.end()) {
+    original = it->second;
+  }
+  if (auto it = reverse_index_.find(original); it != reverse_index_.end()) {
+    original = it->second;
+  }
+
+  switch (verdict.verdict) {
+    case svc::FlowVerdict::kMalicious:
+      // Same containment as an attack event: drop at the entrance.
+      raise(mon::EventType::kAttackDetected, original.dl_src.to_string(),
+            "malicious verdict rule=" + std::to_string(verdict.rule_id), se.dpid, se.se_id,
+            verdict.severity, &original);
+      block_flow_at_ingress(original, se.se_id, verdict.severity);
+      break;
+    case svc::FlowVerdict::kBenign: {
+      if (!config_.enable_flow_offload) break;
+      auto record_it = flows_.find(original);
+      if (record_it == flows_.end()) break;
+      FlowRecord& record = record_it->second;
+      if (record.blocked || record.se_ids.empty()) break;
+      if (std::find(record.benign_se_ids.begin(), record.benign_se_ids.end(), se.se_id) ==
+          record.benign_se_ids.end()) {
+        record.benign_se_ids.push_back(se.se_id);
+      }
+      // Cut through only once every SE of the chain has cleared the flow —
+      // one engine's benign says nothing about what the next would find.
+      const bool all_clear =
+          std::all_of(record.se_ids.begin(), record.se_ids.end(), [&](std::uint64_t id) {
+            return std::find(record.benign_se_ids.begin(), record.benign_se_ids.end(), id) !=
+                   record.benign_se_ids.end();
+          });
+      if (all_clear) offload_flow(original, record, se, verdict.inspected_bytes);
+      break;
+    }
+    case svc::FlowVerdict::kKeepInspecting:
+      // Progress report: the SE crossed its byte budget without a conclusive
+      // verdict (e.g. an undecided classifier). Keep the redirect.
+      break;
   }
 }
 
@@ -674,6 +735,30 @@ void Controller::handle_flow_setup(DatapathId dpid, const of::PacketIn& pin) {
   }
 
   validate_decision_cache();
+
+  // Benign cut-through memo: a flow that earned its verdict re-installs the
+  // direct path — skipping the redirect chain and the re-inspection — for as
+  // long as the world it was judged in still stands. Any stamp drift
+  // (policy mutation, host move, SE change, failover) drops the memo and
+  // falls back to redirect-and-reinspect.
+  if (!offloaded_flows_.empty()) {
+    if (auto off = offloaded_flows_.find(key); off != offloaded_flows_.end()) {
+      if (off->second.stamp == current_stamp()) {
+        if (auto direct = build_direct_decision(key)) {
+          ++stats_.offload_replays;
+          apply_decision(*direct, dpid, pin, key);
+          return;
+        }
+        // An endpoint is momentarily unknown: fall through, the normal path
+        // parks the setup.
+      } else {
+        offloaded_flows_.erase(off);
+        ++stats_.offload_invalidations;
+        replicate(ha::FlowOnloadedRecord{key});
+      }
+    }
+  }
+
   const pkt::FlowKey cls = decision_class(key);
 
   if (auto it = decision_cache_.find(DecisionKey{cls, dpid, pin.in_port});
@@ -876,6 +961,110 @@ bool Controller::build_path(const PathSpec& spec, CachedDecision& decision, bool
     emit(spec.dst.dpid, std::move(egress));
   }
   return true;
+}
+
+// --- verdict-driven flow offload (service-chain fast path) ---------------------------
+
+std::optional<Controller::CachedDecision> Controller::build_direct_decision(
+    const pkt::FlowKey& key) {
+  const HostLocation* src = routing_.find(key.dl_src);
+  const HostLocation* dst = routing_.find(key.dl_dst);
+  if (src == nullptr || dst == nullptr) return std::nullopt;
+
+  CachedDecision decision;
+  decision.action = PolicyAction::kAllow;
+  const Policy* policy = policies_.lookup(key);
+  decision.policy_id = policy != nullptr ? policy->id : 0;
+  decision.policy_name = policy != nullptr ? policy->name : "default";
+  // Concrete-key templates for one flow; never memoized in the class cache.
+  decision.cacheable = false;
+  decision.prime.emplace_back(dst->mac, dst->ip, dst->dpid);
+
+  PathSpec forward;
+  forward.key = key;
+  forward.src = *src;
+  forward.dst = *dst;
+  forward.idle_timeout = config_.flow_idle_timeout;
+  forward.notify_ingress_removal = true;
+  if (!build_path(forward, decision, /*reverse=*/false)) return std::nullopt;
+
+  PathSpec reverse;
+  reverse.key = session_reverse(key);
+  reverse.src = *dst;
+  reverse.dst = *src;
+  reverse.idle_timeout = config_.flow_idle_timeout;
+  build_path(reverse, decision, /*reverse=*/true);
+  return decision;
+}
+
+void Controller::offload_flow(const pkt::FlowKey& key, FlowRecord& record, const SeRecord& se,
+                              std::uint64_t inspected_bytes) {
+  auto direct = build_direct_decision(key);
+  if (!direct) return;  // an endpoint location evaporated: keep the redirect
+
+  std::vector<std::pair<DatapathId, of::FlowMod>> new_mods;
+  for (SwitchMods& sm : direct->switches) {
+    for (of::FlowMod& mod : sm.mods) new_mods.emplace_back(sm.dpid, std::move(mod));
+  }
+  std::vector<std::pair<DatapathId, of::Match>> new_installed;
+  new_installed.reserve(new_mods.size());
+  for (const auto& [mod_dpid, mod] : new_mods) new_installed.emplace_back(mod_dpid, mod.entry.match);
+
+  // Rewrite in place: entries whose (dpid, match) survive — the ingress and
+  // egress pair of the paper's 4-entry chain — are ModifyStrict'ed (keeps
+  // the cookie, removal notification and counters), genuinely new hops are
+  // added first, and only then the stale steering entries deleted, so no
+  // in-flight packet ever hits a gap.
+  for (auto& [mod_dpid, mod] : new_mods) {
+    const bool existed = std::find(record.installed.begin(), record.installed.end(),
+                                   std::make_pair(mod_dpid, mod.entry.match)) !=
+                         record.installed.end();
+    mod.command = existed ? of::FlowModCommand::kModifyStrict : of::FlowModCommand::kAdd;
+    send_flow_mod(mod_dpid, mod);
+  }
+  for (const auto& [old_dpid, match] : record.installed) {
+    if (std::find(new_installed.begin(), new_installed.end(), std::make_pair(old_dpid, match)) !=
+        new_installed.end()) {
+      continue;
+    }
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kDeleteStrict;
+    mod.entry.match = match;
+    mod.entry.priority = config_.flow_priority;
+    send_flow_mod(old_dpid, mod);
+  }
+
+  // The SEs stop seeing this flow: release the chain's load-balancer
+  // accounting. The steered-key registrations stay until the record dies —
+  // packets already queued inside an SE when the rewrite lands may still
+  // produce detections, and their reports must map back to this flow so a
+  // late alert can block it and revoke the memo.
+  for (std::uint64_t se_id : record.se_ids) {
+    const SeRecord* chain_se = registry_.find(se_id);
+    if (chain_se != nullptr) lb_.release_flow(key, chain_se->service);
+  }
+  record.se_ids.clear();
+  record.benign_se_ids.clear();
+  record.installed = std::move(new_installed);
+  record.ingress_actions = direct->ingress_actions;
+
+  if (config_.offload_table_capacity > 0) {
+    if (offloaded_flows_.size() >= config_.offload_table_capacity &&
+        !offloaded_flows_.contains(key)) {
+      offloaded_flows_.clear();  // bounded memo: full flush, like the decision cache
+    }
+    offloaded_flows_.insert_or_assign(key,
+                                      OffloadEntry{current_stamp(), inspected_bytes, sim_->now()});
+    replicate(ha::FlowOffloadedRecord{key, inspected_bytes});
+  }
+  ++stats_.flows_offloaded;
+  raise(mon::EventType::kFlowOffloaded, key.dl_src.to_string(),
+        "cut through after " + std::to_string(inspected_bytes) + " clean bytes",
+        record.ingress_dpid, se.se_id, 0, &key);
+}
+
+void Controller::forget_offload(const pkt::FlowKey& key) {
+  if (offloaded_flows_.erase(key) > 0) replicate(ha::FlowOnloadedRecord{key});
 }
 
 void Controller::apply_decision(CachedDecision& decision, DatapathId dpid, const of::PacketIn& pin,
@@ -1414,6 +1603,14 @@ void Controller::apply_replicated(const ha::RecordBody& body) {
   } else if (const auto* s = std::get_if<ha::SwitchDownRecord>(&body)) {
     switch_loads_.erase(s->dpid);
     topology_.remove_switch(s->dpid);
+  } else if (const auto* f = std::get_if<ha::FlowOffloadedRecord>(&body)) {
+    // Stamped with *this* instance's current stamp: note_promoted() bumps
+    // the epoch, so a pre-failover verdict is never replayed by the new
+    // active — the flow redirects and re-earns its cut-through.
+    offloaded_flows_.insert_or_assign(
+        f->key, OffloadEntry{current_stamp(), f->inspected_bytes, sim_->now()});
+  } else if (const auto* f = std::get_if<ha::FlowOnloadedRecord>(&body)) {
+    offloaded_flows_.erase(f->key);
   }
   applying_replicated_ = false;
 }
@@ -1451,6 +1648,9 @@ std::vector<ha::RecordBody> Controller::export_state() const {
   for (const auto& [key, info] : blocked_flows_) {
     out.push_back(ha::FlowBlockedRecord{key, info.ingress_dpid, info.ingress_port});
   }
+  for (const auto& [key, entry] : offloaded_flows_) {  // map-ordered
+    out.push_back(ha::FlowOffloadedRecord{key, entry.inspected_bytes});
+  }
   if (dhcp_) {
     std::vector<std::pair<MacAddress, DhcpPool::Lease>> leases(dhcp_->leases().begin(),
                                                                dhcp_->leases().end());
@@ -1470,6 +1670,7 @@ void Controller::import_snapshot(const std::vector<ha::RecordBody>& records) {
   policies_ = PolicyTable(config_.default_action);
   install_policy_observer();
   blocked_flows_.clear();
+  offloaded_flows_.clear();
   ls_ports_.clear();
   dhcp_.reset();
   topology_ = topo::TopologyGraph{};

@@ -26,6 +26,8 @@ enum class RecordType : std::uint8_t {
   kDhcpRelease = 14,
   kSwitchUp = 15,
   kSwitchDown = 16,
+  kFlowOffloaded = 17,
+  kFlowOnloaded = 18,
 };
 
 void encode_mac(pkt::BufferWriter& w, const MacAddress& mac) { w.u64(mac.to_uint64()); }
@@ -159,6 +161,13 @@ void encode_body(pkt::BufferWriter& w, const RecordBody& body) {
     w.u64(up->dpid);
     w.u32(up->num_ports);
     w.length_prefixed_string(up->name);
+  } else if (const auto* offloaded = std::get_if<FlowOffloadedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kFlowOffloaded));
+    offloaded->key.encode(w);
+    w.u64(offloaded->inspected_bytes);
+  } else if (const auto* onloaded = std::get_if<FlowOnloadedRecord>(&body)) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kFlowOnloaded));
+    onloaded->key.encode(w);
   } else {
     const auto& down = std::get<SwitchDownRecord>(body);
     w.u8(static_cast<std::uint8_t>(RecordType::kSwitchDown));
@@ -240,6 +249,13 @@ std::optional<RecordBody> decode_body(pkt::BufferReader& r) {
       return up;
     }
     case RecordType::kSwitchDown: return SwitchDownRecord{r.u64()};
+    case RecordType::kFlowOffloaded: {
+      FlowOffloadedRecord offloaded;
+      offloaded.key = pkt::FlowKey::decode(r);
+      offloaded.inspected_bytes = r.u64();
+      return offloaded;
+    }
+    case RecordType::kFlowOnloaded: return FlowOnloadedRecord{pkt::FlowKey::decode(r)};
   }
   return std::nullopt;
 }
@@ -264,6 +280,8 @@ const char* record_name(const RecordBody& body) {
     const char* operator()(const DhcpReleaseRecord&) { return "dhcp_release"; }
     const char* operator()(const SwitchUpRecord&) { return "switch_up"; }
     const char* operator()(const SwitchDownRecord&) { return "switch_down"; }
+    const char* operator()(const FlowOffloadedRecord&) { return "flow_offloaded"; }
+    const char* operator()(const FlowOnloadedRecord&) { return "flow_onloaded"; }
   };
   return std::visit(Namer{}, body);
 }

@@ -138,11 +138,25 @@ struct SwitchDownRecord {
   DatapathId dpid = 0;
 };
 
+/// A flow earned a benign verdict and was cut through past its service chain
+/// (§IV.A fast path). Replicated so a promoted standby re-installs the
+/// direct path — never the stale redirect — when the flow next sets up.
+struct FlowOffloadedRecord {
+  pkt::FlowKey key;
+  std::uint64_t inspected_bytes = 0;
+};
+
+/// An offloaded flow lost its cut-through (blocked, invalidated, or ended).
+struct FlowOnloadedRecord {
+  pkt::FlowKey key;
+};
+
 using RecordBody =
     std::variant<HostLearnedRecord, HostRemovedRecord, LsPortRecord, LinkRecord,
                  PolicyAddedRecord, PolicyRemovedRecord, DefaultActionRecord, SeUpsertRecord,
                  SeRemovedRecord, FlowBlockedRecord, FlowUnblockedRecord, DhcpConfigRecord,
-                 DhcpLeaseRecord, DhcpReleaseRecord, SwitchUpRecord, SwitchDownRecord>;
+                 DhcpLeaseRecord, DhcpReleaseRecord, SwitchUpRecord, SwitchDownRecord,
+                 FlowOffloadedRecord, FlowOnloadedRecord>;
 
 const char* record_name(const RecordBody& body);
 

@@ -28,6 +28,7 @@ const char* event_type_name(EventType type) {
     case EventType::kHostMoved: return "host_moved";
     case EventType::kFailover: return "failover";
     case EventType::kReconciled: return "reconciled";
+    case EventType::kFlowOffloaded: return "flow_offloaded";
   }
   return "?";
 }

@@ -35,6 +35,7 @@ enum class EventType : std::uint8_t {
   kHostMoved,
   kFailover,
   kReconciled,
+  kFlowOffloaded,
 };
 
 const char* event_type_name(EventType type);

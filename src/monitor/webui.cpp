@@ -65,10 +65,21 @@ std::string WebUi::snapshot_json(SimTime events_from, SimTime events_to) const {
   first = true;
   for (const ctrl::SeRecord* se : controller_->services().all()) {
     if (!first) out << ",";
+    const auto& report = se->last_report;
     out << "{\"id\":" << se->se_id << ",\"service\":\"" << svc::service_type_name(se->service)
-        << "\",\"dpid\":" << se->dpid << ",\"cpu\":" << static_cast<int>(se->last_report.cpu_percent)
-        << ",\"pps\":" << se->last_report.packets_per_second
-        << ",\"queued\":" << se->last_report.queued_packets << "}";
+        << "\",\"dpid\":" << se->dpid << ",\"cpu\":" << static_cast<int>(report.cpu_percent)
+        << ",\"pps\":" << report.packets_per_second
+        << ",\"queued\":" << report.queued_packets
+        << ",\"flow_contexts\":" << report.flow_contexts
+        << ",\"context_evictions\":" << report.context_evictions
+        << ",\"batches\":" << report.batches_total
+        << ",\"batch_packets\":" << report.batch_packets_total
+        << ",\"batch_size_hist\":[";
+    for (std::size_t i = 0; i < report.batch_size_hist.size(); ++i) {
+      if (i > 0) out << ",";
+      out << report.batch_size_hist[i];
+    }
+    out << "]}";
     first = false;
   }
   out << "],";
@@ -91,6 +102,11 @@ std::string WebUi::snapshot_json(SimTime events_from, SimTime events_to) const {
       << ",\"pending_setups_completed\":" << fp.pending_setups_completed
       << ",\"pending_setups_expired\":" << fp.pending_setups_expired
       << ",\"batched_flow_mods\":" << fp.batched_flow_mods
+      << ",\"verdict_messages\":" << stats.verdict_messages
+      << ",\"flows_offloaded\":" << stats.flows_offloaded
+      << ",\"offload_replays\":" << stats.offload_replays
+      << ",\"offload_invalidations\":" << stats.offload_invalidations
+      << ",\"offloaded_now\":" << controller_->offloaded_flow_count()
       << ",\"echo_timeouts\":" << stats.echo_timeouts
       << ",\"channel_outbox_dropped\":" << controller_->channel_outbox_dropped()
       << ",\"channel_backlog\":" << controller_->channel_backlog() << "},";
@@ -142,7 +158,11 @@ std::string WebUi::snapshot_text(SimTime events_from, SimTime events_to) const {
   for (const ctrl::SeRecord* se : controller_->services().all()) {
     out << "  se" << se->se_id << " " << svc::service_type_name(se->service) << " cpu="
         << static_cast<int>(se->last_report.cpu_percent)
-        << "% pps=" << se->last_report.packets_per_second << "\n";
+        << "% pps=" << se->last_report.packets_per_second
+        << " queued=" << se->last_report.queued_packets
+        << " contexts=" << se->last_report.flow_contexts << " (evicted "
+        << se->last_report.context_evictions << ") batches=" << se->last_report.batches_total
+        << "\n";
   }
 
   out << "--- control plane ---\n";
@@ -157,6 +177,10 @@ std::string WebUi::snapshot_text(SimTime events_from, SimTime events_to) const {
   out << "  pending setups: " << controller_->pending_setup_count() << " parked ("
       << fp.pending_setups_completed << " completed, " << fp.pending_setups_expired
       << " expired)\n";
+  out << "  flow offload: " << stats.flows_offloaded << " cut through ("
+      << controller_->offloaded_flow_count() << " held, " << stats.offload_replays
+      << " replayed, " << stats.offload_invalidations << " invalidated) from "
+      << stats.verdict_messages << " verdicts\n";
   out << "  channel backpressure: " << controller_->channel_backlog() << " in flight, "
       << controller_->channel_outbox_dropped() << " dropped\n";
   out << "  echo timeouts: " << stats.echo_timeouts << "\n";

@@ -1,0 +1,131 @@
+// Bounded per-flow inspection-context table shared by the SE engines.
+//
+// Streaming inspection (IDS automaton state, L7 windows, scanner DFA state)
+// needs per-flow memory that lives across packets; on a production SE that
+// memory must be bounded or a port scan exhausts it. FlowContextTable keys
+// contexts by pkt::FlowKey and bounds them two ways:
+//  - a hard capacity: inserting into a full table evicts the
+//    least-recently-touched context (LRU);
+//  - an idle timeout driven by the simulation clock: sweep(now) drops every
+//    context whose flow has been silent past the timeout (the SE calls it
+//    from its heartbeat tick).
+// Eviction loses mid-flow state — a signature spanning an evicted boundary
+// is missed — which is the standard memory/completeness trade every
+// stream-reassembling inspector makes. Occupancy and eviction counters are
+// exported so the trade is visible in ONLINE reports and the WebUI.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "packet/flow_key.h"
+
+namespace livesec::svc {
+
+template <typename Context>
+class FlowContextTable {
+ public:
+  struct Limits {
+    /// Max live contexts; 0 is clamped to 1 (touch() must return something).
+    std::size_t capacity = 4096;
+    /// Contexts idle longer than this are dropped by sweep(); 0 disables.
+    SimTime idle_timeout = 30 * kSecond;
+  };
+
+  FlowContextTable() = default;
+  explicit FlowContextTable(Limits limits) : limits_(limits) {}
+
+  void set_limits(Limits limits) {
+    limits_ = limits;
+    while (lru_.size() > capacity()) {
+      evict(std::prev(lru_.end()));
+      ++evictions_lru_;
+    }
+  }
+  const Limits& limits() const { return limits_; }
+
+  /// Get-or-create the context for `key`, refreshing its LRU position and
+  /// idle clock. A full table evicts its least-recently-touched entry first.
+  Context& touch(const pkt::FlowKey& key, SimTime now) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->last_seen = now;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->ctx;
+    }
+    if (lru_.size() >= capacity()) {
+      evict(std::prev(lru_.end()));
+      ++evictions_lru_;
+    }
+    lru_.push_front(Entry{key, now, Context{}});
+    index_.emplace(key, lru_.begin());
+    ++created_;
+    return lru_.front().ctx;
+  }
+
+  Context* find(const pkt::FlowKey& key) {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->ctx;
+  }
+  const Context* find(const pkt::FlowKey& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->ctx;
+  }
+
+  void erase(const pkt::FlowKey& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) evict(it->second);
+  }
+
+  /// Drops every context idle past the timeout; returns how many. The LRU
+  /// tail is the least recently touched, so this stops at the first live one.
+  std::size_t sweep(SimTime now) {
+    if (limits_.idle_timeout == 0) return 0;
+    std::size_t evicted = 0;
+    while (!lru_.empty()) {
+      auto last = std::prev(lru_.end());
+      if (now < last->last_seen + limits_.idle_timeout) break;
+      evict(last);
+      ++evictions_idle_;
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  void clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+  std::size_t size() const { return lru_.size(); }
+  std::uint64_t created() const { return created_; }
+  std::uint64_t evictions_lru() const { return evictions_lru_; }
+  std::uint64_t evictions_idle() const { return evictions_idle_; }
+  std::uint64_t evictions_total() const { return evictions_lru_ + evictions_idle_; }
+
+ private:
+  struct Entry {
+    pkt::FlowKey key;
+    SimTime last_seen = 0;
+    Context ctx;
+  };
+  using EntryIt = typename std::list<Entry>::iterator;
+
+  std::size_t capacity() const { return limits_.capacity == 0 ? 1 : limits_.capacity; }
+
+  void evict(EntryIt it) {
+    index_.erase(it->key);
+    lru_.erase(it);
+  }
+
+  Limits limits_;
+  std::list<Entry> lru_;  // front = most recently touched
+  std::unordered_map<pkt::FlowKey, EntryIt> index_;
+  std::uint64_t created_ = 0;
+  std::uint64_t evictions_lru_ = 0;
+  std::uint64_t evictions_idle_ = 0;
+};
+
+}  // namespace livesec::svc

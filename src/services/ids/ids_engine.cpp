@@ -58,7 +58,7 @@ void IdsEngine::apply_hits(const std::vector<AhoCorasick::Hit>& hits,
   }
 }
 
-std::vector<Alert> IdsEngine::inspect(const pkt::Packet& packet) {
+std::vector<Alert> IdsEngine::inspect(const pkt::Packet& packet, SimTime now) {
   ++packets_inspected_;
   bytes_inspected_ += packet.payload_size();
 
@@ -66,23 +66,23 @@ std::vector<Alert> IdsEngine::inspect(const pkt::Packet& packet) {
   if (packet.payload_size() == 0) return alerts;
 
   const pkt::FlowKey key = pkt::FlowKey::from_packet(packet);
-  FlowState& state = flows_[key];
+  FlowState& state = flows_.touch(key, now);
 
   if (automaton_.pattern_count() > 0) {
-    std::vector<AhoCorasick::Hit> hits;
-    automaton_.scan_stream(packet.payload_view(), state.ac_state, hits);
-    apply_hits(hits, pattern_refs_, packet, key, state, alerts);
+    hit_scratch_.clear();
+    automaton_.scan_stream(packet.payload_view(), state.ac_state, hit_scratch_);
+    apply_hits(hit_scratch_, pattern_refs_, packet, key, state, alerts);
   }
   if (automaton_nocase_.pattern_count() > 0) {
     // Fold the payload once; positions are unchanged by folding.
     const auto payload = packet.payload_view();
-    std::vector<std::uint8_t> folded(payload.size());
+    fold_scratch_.resize(payload.size());
     for (std::size_t i = 0; i < payload.size(); ++i) {
-      folded[i] = static_cast<std::uint8_t>(std::tolower(payload[i]));
+      fold_scratch_[i] = static_cast<std::uint8_t>(std::tolower(payload[i]));
     }
-    std::vector<AhoCorasick::Hit> hits;
-    automaton_nocase_.scan_stream(folded, state.ac_state_nocase, hits);
-    apply_hits(hits, pattern_refs_nocase_, packet, key, state, alerts);
+    hit_scratch_.clear();
+    automaton_nocase_.scan_stream(fold_scratch_, state.ac_state_nocase, hit_scratch_);
+    apply_hits(hit_scratch_, pattern_refs_nocase_, packet, key, state, alerts);
   }
   state.stream_bytes += packet.payload_size();
   return alerts;

@@ -8,7 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/types.h"
 #include "packet/flow_key.h"
+#include "services/flow_context.h"
 #include "services/ids/aho_corasick.h"
 #include "services/ids/signature.h"
 
@@ -28,27 +30,10 @@ struct Alert {
 /// the engine keeps the automaton state plus the set of content patterns
 /// seen so far, so multi-content rules fire only once all their patterns
 /// have appeared in the flow (in any packet, even split across packets).
-/// Each flow alerts at most once per rule.
+/// Each flow alerts at most once per rule. Per-flow state is bounded by a
+/// FlowContextTable (LRU + idle timeout); an evicted flow restarts fresh.
 class IdsEngine {
  public:
-  explicit IdsEngine(std::vector<Signature> rules);
-
-  /// Engine over default_rules().
-  IdsEngine();
-
-  /// Inspects one packet; returns alerts newly fired by this packet.
-  std::vector<Alert> inspect(const pkt::Packet& packet);
-
-  /// Drops per-flow state (e.g. on FIN/RST or idle timeout).
-  void forget_flow(const pkt::FlowKey& flow);
-
-  std::size_t rule_count() const { return rules_.size(); }
-  std::size_t tracked_flows() const { return flows_.size(); }
-  std::uint64_t packets_inspected() const { return packets_inspected_; }
-  std::uint64_t bytes_inspected() const { return bytes_inspected_; }
-  std::uint64_t alerts_raised() const { return alerts_raised_; }
-
- private:
   struct FlowState {
     std::uint32_t ac_state = 0;         // case-sensitive automaton state
     std::uint32_t ac_state_nocase = 0;  // case-folded automaton state
@@ -59,6 +44,28 @@ class IdsEngine {
     std::vector<std::uint32_t> fired;
   };
 
+  explicit IdsEngine(std::vector<Signature> rules);
+
+  /// Engine over default_rules().
+  IdsEngine();
+
+  /// Inspects one packet in its flow's streaming context; returns alerts
+  /// newly fired by this packet. `now` drives LRU/idle bookkeeping.
+  std::vector<Alert> inspect(const pkt::Packet& packet, SimTime now = 0);
+
+  /// Drops per-flow state (e.g. on FIN/RST or idle timeout).
+  void forget_flow(const pkt::FlowKey& flow);
+
+  FlowContextTable<FlowState>& contexts() { return flows_; }
+  const FlowContextTable<FlowState>& contexts() const { return flows_; }
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::size_t tracked_flows() const { return flows_.size(); }
+  std::uint64_t packets_inspected() const { return packets_inspected_; }
+  std::uint64_t bytes_inspected() const { return bytes_inspected_; }
+  std::uint64_t alerts_raised() const { return alerts_raised_; }
+
+ private:
   struct PatternRef {
     std::uint32_t rule_index;
     std::uint32_t content_index;
@@ -75,7 +82,10 @@ class IdsEngine {
   AhoCorasick automaton_nocase_;  // case-folded contents, scans folded bytes
   std::vector<PatternRef> pattern_refs_;         // automaton pattern id -> rule content
   std::vector<PatternRef> pattern_refs_nocase_;
-  std::unordered_map<pkt::FlowKey, FlowState> flows_;
+  FlowContextTable<FlowState> flows_;
+  // Per-packet scratch reused across inspect() calls (no hot-path allocs).
+  std::vector<AhoCorasick::Hit> hit_scratch_;
+  std::vector<std::uint8_t> fold_scratch_;
   std::uint64_t packets_inspected_ = 0;
   std::uint64_t bytes_inspected_ = 0;
   std::uint64_t alerts_raised_ = 0;

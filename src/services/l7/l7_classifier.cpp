@@ -80,12 +80,12 @@ AppProtocol L7Classifier::match(const pkt::Packet& packet,
   return AppProtocol::kUnknown;
 }
 
-Classification L7Classifier::classify(const pkt::Packet& packet) {
+Classification L7Classifier::classify(const pkt::Packet& packet, SimTime now) {
   ++packets_seen_;
   if (packet.payload_size() == 0) return {AppProtocol::kUnknown, false};
 
   const pkt::FlowKey key = pkt::FlowKey::from_packet(packet);
-  FlowState& state = flows_[key];
+  FlowState& state = flows_.touch(key, now);
   if (state.decided) return {state.verdict, false};
 
   ++state.packets;
@@ -113,11 +113,16 @@ Classification L7Classifier::classify(const pkt::Packet& packet) {
 }
 
 std::optional<AppProtocol> L7Classifier::verdict(const pkt::FlowKey& flow) const {
-  auto it = flows_.find(flow);
-  if (it == flows_.end() || !it->second.decided || it->second.verdict == AppProtocol::kUnknown) {
+  const FlowState* state = flows_.find(flow);
+  if (state == nullptr || !state->decided || state->verdict == AppProtocol::kUnknown) {
     return std::nullopt;
   }
-  return it->second.verdict;
+  return state->verdict;
+}
+
+bool L7Classifier::decided(const pkt::FlowKey& flow) const {
+  const FlowState* state = flows_.find(flow);
+  return state != nullptr && state->decided;
 }
 
 void L7Classifier::forget_flow(const pkt::FlowKey& flow) { flows_.erase(flow); }

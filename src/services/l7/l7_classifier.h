@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/types.h"
 #include "packet/flow_key.h"
+#include "services/flow_context.h"
 
 namespace livesec::svc::l7 {
 
@@ -65,32 +67,14 @@ struct Classification {
 
 /// Per-flow application classifier over the first few payload-carrying
 /// packets (l7-filter inspects at most the first 10 packets / 2 KiB; same
-/// bounds here).
+/// bounds here). Per-flow windows are bounded by a FlowContextTable (LRU +
+/// idle timeout).
 class L7Classifier {
  public:
   struct Config {
     std::size_t max_packets_per_flow = 10;
     std::size_t max_bytes_per_flow = 2048;
   };
-
-  L7Classifier();
-  explicit L7Classifier(std::vector<ProtocolPattern> patterns);
-
-  /// Feeds one packet; returns the verdict when this packet decided it
-  /// (fresh=true exactly once per flow).
-  Classification classify(const pkt::Packet& packet);
-
-  /// Current verdict for a flow, if any.
-  std::optional<AppProtocol> verdict(const pkt::FlowKey& flow) const;
-
-  void forget_flow(const pkt::FlowKey& flow);
-
-  std::size_t tracked_flows() const { return flows_.size(); }
-  std::uint64_t packets_seen() const { return packets_seen_; }
-  std::uint64_t flows_identified() const { return flows_identified_; }
-
- private:
-  AppProtocol match(const pkt::Packet& packet, std::span<const std::uint8_t> window) const;
 
   struct FlowState {
     std::vector<std::uint8_t> window;  // accumulated early payload
@@ -99,9 +83,35 @@ class L7Classifier {
     bool decided = false;  // verdict final (identified or given up)
   };
 
+  L7Classifier();
+  explicit L7Classifier(std::vector<ProtocolPattern> patterns);
+
+  /// Feeds one packet; returns the verdict when this packet decided it
+  /// (fresh=true exactly once per flow). `now` drives LRU/idle bookkeeping.
+  Classification classify(const pkt::Packet& packet, SimTime now = 0);
+
+  /// Current verdict for a flow, if any.
+  std::optional<AppProtocol> verdict(const pkt::FlowKey& flow) const;
+
+  /// True once the flow's verdict is final (identified, or given up after
+  /// the packet/byte budget) — i.e. further payload teaches nothing.
+  bool decided(const pkt::FlowKey& flow) const;
+
+  void forget_flow(const pkt::FlowKey& flow);
+
+  FlowContextTable<FlowState>& contexts() { return flows_; }
+  const FlowContextTable<FlowState>& contexts() const { return flows_; }
+
+  std::size_t tracked_flows() const { return flows_.size(); }
+  std::uint64_t packets_seen() const { return packets_seen_; }
+  std::uint64_t flows_identified() const { return flows_identified_; }
+
+ private:
+  AppProtocol match(const pkt::Packet& packet, std::span<const std::uint8_t> window) const;
+
   Config config_;
   std::vector<ProtocolPattern> patterns_;
-  std::unordered_map<pkt::FlowKey, FlowState> flows_;
+  FlowContextTable<FlowState> flows_;
   std::uint64_t packets_seen_ = 0;
   std::uint64_t flows_identified_ = 0;
 };

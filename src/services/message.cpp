@@ -26,10 +26,26 @@ const char* event_kind_name(EventKind kind) {
   return "?";
 }
 
+const char* flow_verdict_name(FlowVerdict verdict) {
+  switch (verdict) {
+    case FlowVerdict::kBenign: return "benign";
+    case FlowVerdict::kMalicious: return "malicious";
+    case FlowVerdict::kKeepInspecting: return "keep_inspecting";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr std::uint8_t kTypeOnline = 1;
 constexpr std::uint8_t kTypeEvent = 2;
+constexpr std::uint8_t kTypeVerdict = 3;
+
+std::uint8_t wire_type(const std::variant<OnlineMessage, EventMessage, VerdictMessage>& body) {
+  if (std::holds_alternative<OnlineMessage>(body)) return kTypeOnline;
+  if (std::holds_alternative<EventMessage>(body)) return kTypeEvent;
+  return kTypeVerdict;
+}
 
 }  // namespace
 
@@ -37,7 +53,7 @@ std::vector<std::uint8_t> DaemonMessage::encode() const {
   pkt::BufferWriter w;
   w.u32(kMessageMagic);
   w.u8(kMessageVersion);
-  w.u8(std::holds_alternative<OnlineMessage>(body) ? kTypeOnline : kTypeEvent);
+  w.u8(wire_type(body));
   w.u64(se_id);
   w.u64(cert_token);
   if (const auto* online = std::get_if<OnlineMessage>(&body)) {
@@ -49,15 +65,27 @@ std::vector<std::uint8_t> DaemonMessage::encode() const {
     w.u64(online->processed_bytes_total);
     w.u32(online->queued_packets);
     w.u64(online->capacity_bps);
+    w.u32(online->flow_contexts);
+    w.u64(online->context_evictions);
+    w.u64(online->batches_total);
+    w.u64(online->batch_packets_total);
+    for (const std::uint32_t bucket : online->batch_size_hist) w.u32(bucket);
+  } else if (const auto* event = std::get_if<EventMessage>(&body)) {
+    w.u8(static_cast<std::uint8_t>(event->kind));
+    w.u32(event->rule_id);
+    w.u8(event->severity);
+    w.u64(event->observed_dpid);
+    w.u32(event->observed_port);
+    event->flow.encode(w);
+    w.length_prefixed_string(event->description);
   } else {
-    const auto& event = std::get<EventMessage>(body);
-    w.u8(static_cast<std::uint8_t>(event.kind));
-    w.u32(event.rule_id);
-    w.u8(event.severity);
-    w.u64(event.observed_dpid);
-    w.u32(event.observed_port);
-    event.flow.encode(w);
-    w.length_prefixed_string(event.description);
+    const auto& verdict = std::get<VerdictMessage>(body);
+    w.u8(static_cast<std::uint8_t>(verdict.verdict));
+    verdict.flow.encode(w);
+    w.u64(verdict.inspected_bytes);
+    w.u64(verdict.byte_budget);
+    w.u32(verdict.rule_id);
+    w.u8(verdict.severity);
   }
   return w.take();
 }
@@ -80,6 +108,11 @@ std::optional<DaemonMessage> DaemonMessage::decode(std::span<const std::uint8_t>
     online.processed_bytes_total = r.u64();
     online.queued_packets = r.u32();
     online.capacity_bps = r.u64();
+    online.flow_contexts = r.u32();
+    online.context_evictions = r.u64();
+    online.batches_total = r.u64();
+    online.batch_packets_total = r.u64();
+    for (std::uint32_t& bucket : online.batch_size_hist) bucket = r.u32();
     m.body = online;
   } else if (type == kTypeEvent) {
     EventMessage event;
@@ -91,6 +124,15 @@ std::optional<DaemonMessage> DaemonMessage::decode(std::span<const std::uint8_t>
     event.flow = pkt::FlowKey::decode(r);
     event.description = r.length_prefixed_string();
     m.body = std::move(event);
+  } else if (type == kTypeVerdict) {
+    VerdictMessage verdict;
+    verdict.verdict = static_cast<FlowVerdict>(r.u8());
+    verdict.flow = pkt::FlowKey::decode(r);
+    verdict.inspected_bytes = r.u64();
+    verdict.byte_budget = r.u64();
+    verdict.rule_id = r.u32();
+    verdict.severity = r.u8();
+    m.body = verdict;
   } else {
     return std::nullopt;
   }

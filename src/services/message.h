@@ -3,6 +3,7 @@
 // always punts to the controller (no flow entry is ever installed for them).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -22,7 +23,10 @@ inline constexpr std::uint16_t kLiveSecPort = 50001;
 /// Magic identifier at the start of every daemon message ("LVSC").
 inline constexpr std::uint32_t kMessageMagic = 0x4C565343;
 
-inline constexpr std::uint8_t kMessageVersion = 1;
+/// v2: ONLINE gained the service-chain fast-path load fields and the
+/// per-flow VERDICT message type was added (both sides of the protocol live
+/// in this repo, so the version is bumped in lockstep).
+inline constexpr std::uint8_t kMessageVersion = 2;
 
 /// Network services a VM-based service element can provide (paper §III.D:
 /// "protocol identification, firewall, intrusion detection, virus scanning,
@@ -37,9 +41,17 @@ enum class ServiceType : std::uint8_t {
 
 const char* service_type_name(ServiceType type);
 
-/// Real-time on-line message: confirms SE existence, declares the service
-/// type, and attaches load information (paper: "CPU utility, memory
-/// footprint and number of processed packets per second").
+/// Real-time on-line message (wire type 1): confirms SE existence, declares
+/// the service type, and attaches load information (paper: "CPU utility,
+/// memory footprint and number of processed packets per second").
+///
+/// Wire layout after the common header (magic u32, version u8, type u8,
+/// se_id u64, cert_token u64):
+///   service u8, cpu_percent u8, memory_mb u16, packets_per_second u32,
+///   processed_packets_total u64, processed_bytes_total u64,
+///   queued_packets u32, capacity_bps u64,
+///   flow_contexts u32, context_evictions u64,
+///   batches_total u64, batch_packets_total u64, batch_size_hist 6 x u32.
 struct OnlineMessage {
   ServiceType service = ServiceType::kIntrusionDetection;
   std::uint8_t cpu_percent = 0;
@@ -49,6 +61,14 @@ struct OnlineMessage {
   std::uint64_t processed_bytes_total = 0;
   std::uint32_t queued_packets = 0;
   std::uint64_t capacity_bps = 0;
+  // v2 service-chain fast-path load: streaming-inspection context table
+  // occupancy/evictions and batch-drain telemetry.
+  std::uint32_t flow_contexts = 0;
+  std::uint64_t context_evictions = 0;
+  std::uint64_t batches_total = 0;
+  std::uint64_t batch_packets_total = 0;
+  /// log2 batch-size histogram: buckets 1, 2-3, 4-7, 8-15, 16-31, 32+.
+  std::array<std::uint32_t, 6> batch_size_hist{};
 };
 
 /// What an event report announces.
@@ -76,11 +96,47 @@ struct EventMessage {
   std::string description;
 };
 
-/// Envelope common to both message types.
+/// What a VERDICT message concludes about one flow.
+enum class FlowVerdict : std::uint8_t {
+  kBenign = 1,          ///< budget inspected clean: eligible for cut-through
+  kMalicious = 2,       ///< detection fired: block the flow at its ingress
+  kKeepInspecting = 3,  ///< budget reached but the engine still wants payload
+};
+
+const char* flow_verdict_name(FlowVerdict verdict);
+
+/// VERDICT message (wire type 3, v2): the SE's per-flow conclusion, sent at
+/// most once per steered flow direction once the configured inspected-byte
+/// budget is reached (benign), a detection fires (malicious), or the engine
+/// is still undecided at the budget (keep-inspecting). A benign verdict lets
+/// the controller rewrite the redirect chain into a direct path — the
+/// interactive-enforcement cut-through of paper §IV.A; a malicious verdict
+/// triggers the same ingress block as the corresponding EVENT.
+///
+/// Wire layout after the common header (magic u32, version u8, type u8,
+/// se_id u64, cert_token u64):
+///   verdict          u8   (FlowVerdict)
+///   flow             FlowKey::encode — as observed at the SE, i.e. with
+///                    dl_dst rewritten to the SE MAC; the controller maps it
+///                    back through its steered-flow index
+///   inspected_bytes  u64  payload bytes inspected when the verdict fired
+///   byte_budget      u64  the SE's configured benign budget
+///   rule_id          u32  triggering rule/signature id (malicious only)
+///   severity         u8
+struct VerdictMessage {
+  FlowVerdict verdict = FlowVerdict::kKeepInspecting;
+  pkt::FlowKey flow;
+  std::uint64_t inspected_bytes = 0;
+  std::uint64_t byte_budget = 0;
+  std::uint32_t rule_id = 0;
+  std::uint8_t severity = 0;
+};
+
+/// Envelope common to all message types.
 struct DaemonMessage {
   std::uint64_t se_id = 0;
   std::uint64_t cert_token = 0;  // issued by the controller (§III.D.1)
-  std::variant<OnlineMessage, EventMessage> body;
+  std::variant<OnlineMessage, EventMessage, VerdictMessage> body;
 
   /// Serializes to the UDP payload byte format.
   std::vector<std::uint8_t> encode() const;

@@ -1,5 +1,7 @@
 #include "services/scanner/virus_scanner.h"
 
+#include <algorithm>
+
 namespace livesec::svc::scanner {
 
 const std::vector<VirusSignature>& default_virus_signatures() {
@@ -22,18 +24,25 @@ VirusScanner::VirusScanner(std::vector<VirusSignature> signatures)
   automaton_.build();
 }
 
-std::vector<VirusScanner::Detection> VirusScanner::scan(const pkt::Packet& packet) {
+std::vector<VirusScanner::Detection> VirusScanner::scan(const pkt::Packet& packet, SimTime now) {
   ++packets_scanned_;
   std::vector<Detection> detections;
   if (packet.payload_size() == 0) return detections;
 
-  std::vector<ids::AhoCorasick::Hit> hits;
-  automaton_.scan(packet.payload_view(), hits);
-  for (const auto& hit : hits) {
+  FlowState& state = flows_.touch(pkt::FlowKey::from_packet(packet), now);
+  hit_scratch_.clear();
+  automaton_.scan_stream(packet.payload_view(), state.ac_state, hit_scratch_);
+  for (const auto& hit : hit_scratch_) {
     const VirusSignature& sig = signatures_[hit.pattern_id];
+    if (std::find(state.reported.begin(), state.reported.end(), sig.id) !=
+        state.reported.end()) {
+      continue;  // one report per signature per flow
+    }
+    state.reported.push_back(sig.id);
     detections.push_back(Detection{sig.id, sig.family, sig.severity});
     ++detections_total_;
   }
+  state.stream_bytes += packet.payload_size();
   return detections;
 }
 

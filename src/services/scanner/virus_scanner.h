@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/types.h"
 #include "packet/packet.h"
+#include "services/flow_context.h"
 #include "services/ids/aho_corasick.h"
 
 namespace livesec::svc::scanner {
@@ -23,9 +25,12 @@ struct VirusSignature {
 /// failure-injection tests).
 const std::vector<VirusSignature>& default_virus_signatures();
 
-/// Stateless per-packet scanner: payload bytes against all signatures in one
-/// Aho-Corasick pass. Unlike the IDS it does not track flow state — file
-/// content markers are self-contained.
+/// Streaming per-flow scanner: payload bytes run through one Aho-Corasick
+/// pass with the automaton state carried across packets of a flow, so a
+/// content marker split across a packet boundary is still found (a per-packet
+/// rescan from the automaton root misses it). Each signature is reported at
+/// most once per flow. Per-flow state lives in a bounded FlowContextTable
+/// (LRU + idle timeout); an evicted flow restarts from the root.
 class VirusScanner {
  public:
   struct Detection {
@@ -34,11 +39,26 @@ class VirusScanner {
     std::uint8_t severity;
   };
 
+  /// Streaming state for one flow.
+  struct FlowState {
+    std::uint32_t ac_state = 0;            // automaton state across packets
+    std::uint64_t stream_bytes = 0;        // payload bytes scanned so far
+    std::vector<std::uint32_t> reported;   // signature ids already reported
+  };
+
   VirusScanner();
   explicit VirusScanner(std::vector<VirusSignature> signatures);
 
-  /// Scans one packet's payload; returns all detections.
-  std::vector<Detection> scan(const pkt::Packet& packet);
+  /// Scans one packet's payload in its flow's streaming context; returns the
+  /// signatures newly detected by this packet. `now` drives LRU/idle
+  /// bookkeeping of the context table.
+  std::vector<Detection> scan(const pkt::Packet& packet, SimTime now = 0);
+
+  /// Drops per-flow streaming state (e.g. on idle timeout).
+  void forget_flow(const pkt::FlowKey& flow) { flows_.erase(flow); }
+
+  FlowContextTable<FlowState>& contexts() { return flows_; }
+  const FlowContextTable<FlowState>& contexts() const { return flows_; }
 
   std::size_t signature_count() const { return signatures_.size(); }
   std::uint64_t packets_scanned() const { return packets_scanned_; }
@@ -47,6 +67,8 @@ class VirusScanner {
  private:
   std::vector<VirusSignature> signatures_;
   ids::AhoCorasick automaton_;
+  FlowContextTable<FlowState> flows_;
+  std::vector<ids::AhoCorasick::Hit> hit_scratch_;
   std::uint64_t packets_scanned_ = 0;
   std::uint64_t detections_total_ = 0;
 };

@@ -17,6 +17,10 @@ ServiceElement::ServiceElement(sim::Simulator& sim, std::string name, Config con
       ids_(config.ids_rules.empty() ? ids::default_rules() : config.ids_rules),
       firewall_(config.firewall_rules, config.firewall_default) {
   add_port();  // port 0: the virtual NIC
+  ids_.contexts().set_limits({config_.max_flow_contexts, config_.context_idle_timeout});
+  l7_.contexts().set_limits({config_.max_flow_contexts, config_.context_idle_timeout});
+  scanner_.contexts().set_limits({config_.max_flow_contexts, config_.context_idle_timeout});
+  verdicts_.set_limits({config_.max_flow_contexts, config_.context_idle_timeout});
 }
 
 void ServiceElement::start() {
@@ -28,7 +32,13 @@ void ServiceElement::start() {
 
 void ServiceElement::stop() {
   running_ = false;
-  ++heartbeat_epoch_;
+  ++heartbeat_epoch_;  // also invalidates any scheduled batch drain
+  pending_.clear();
+  pending_service_time_ = 0;
+  batch_scheduled_ = false;
+  batch_events_.clear();
+  batch_verdicts_.clear();
+  queued_packets_ = 0;
 }
 
 SimTime ServiceElement::service_time(const pkt::Packet& packet) const {
@@ -43,6 +53,28 @@ SimTime ServiceElement::service_time(const pkt::Packet& packet) const {
   return static_cast<SimTime>(bits / rate * kSecond) + config_.per_packet_overhead;
 }
 
+std::size_t ServiceElement::flow_contexts() const {
+  switch (config_.service) {
+    case ServiceType::kIntrusionDetection: return ids_.contexts().size();
+    case ServiceType::kProtocolIdentification: return l7_.contexts().size();
+    case ServiceType::kVirusScan:
+    case ServiceType::kContentInspection: return scanner_.contexts().size();
+    case ServiceType::kFirewall: return 0;
+  }
+  return 0;
+}
+
+std::uint64_t ServiceElement::context_evictions() const {
+  switch (config_.service) {
+    case ServiceType::kIntrusionDetection: return ids_.contexts().evictions_total();
+    case ServiceType::kProtocolIdentification: return l7_.contexts().evictions_total();
+    case ServiceType::kVirusScan:
+    case ServiceType::kContentInspection: return scanner_.contexts().evictions_total();
+    case ServiceType::kFirewall: return 0;
+  }
+  return 0;
+}
+
 void ServiceElement::handle_packet(PortId in_port, pkt::PacketPtr packet) {
   (void)in_port;
   if (!running_) return;
@@ -55,13 +87,56 @@ void ServiceElement::handle_packet(PortId in_port, pkt::PacketPtr packet) {
     return;
   }
   ++queued_packets_;
+  const SimTime cost = service_time(*packet);
+  pending_service_time_ += cost;
+  pending_.emplace_back(std::move(packet), cost);
+  if (!batch_scheduled_) schedule_batch();
+}
+
+void ServiceElement::schedule_batch() {
+  const std::size_t limit = std::max<std::size_t>(1, config_.batch_max_packets);
+  batch_take_ = std::min(pending_.size(), limit);
   const SimTime now = simulator().now();
-  const SimTime start = busy_until_ > now ? busy_until_ : now;
-  busy_until_ = start + service_time(*packet);
-  simulator().schedule_at(busy_until_, [this, packet = std::move(packet)]() mutable {
+  SimTime done = busy_until_ > now ? busy_until_ : now;
+  // The busy-until chain is per packet, exactly as before batching; only the
+  // completion event is collapsed to the batch's end, so throughput and the
+  // SE's capacity accounting are unchanged.
+  for (std::size_t i = 0; i < batch_take_; ++i) {
+    done += pending_[i].second;
+    pending_service_time_ -= pending_[i].second;
+  }
+  busy_until_ = done;
+  batch_scheduled_ = true;
+  const std::uint64_t epoch = heartbeat_epoch_;
+  simulator().schedule_at(done, [this, epoch]() {
+    if (heartbeat_epoch_ == epoch) drain_batch();
+  });
+}
+
+void ServiceElement::drain_batch() {
+  batch_scheduled_ = false;
+  if (!running_) return;  // stop() already cleared the queue
+  const std::size_t take = std::min(batch_take_, pending_.size());
+  if (take > 0) {
+    ++batches_total_;
+    batch_packets_total_ += take;
+    std::size_t bucket = 0;  // log2 buckets: 1, 2-3, 4-7, 8-15, 16-31, 32+
+    for (std::size_t n = take; n > 1 && bucket < batch_size_hist_.size() - 1; n >>= 1) ++bucket;
+    ++batch_size_hist_[bucket];
+  }
+  for (std::size_t i = 0; i < take; ++i) {
+    pkt::PacketPtr packet = std::move(pending_.front().first);
+    pending_.pop_front();
     --queued_packets_;
     process(std::move(packet));
-  });
+  }
+  // Coalesced daemon messages: at most one event per (kind, rule, flow) and
+  // one verdict per flow, all emitted at batch completion.
+  for (EventMessage& event : batch_events_) send_event(std::move(event));
+  batch_events_.clear();
+  for (VerdictMessage& verdict : batch_verdicts_) send_verdict(std::move(verdict));
+  batch_verdicts_.clear();
+  if (!pending_.empty()) schedule_batch();
 }
 
 void ServiceElement::process(pkt::PacketPtr packet) {
@@ -69,43 +144,55 @@ void ServiceElement::process(pkt::PacketPtr packet) {
   ++processed_packets_;
   processed_bytes_ += packet->wire_size();
 
+  const SimTime now = simulator().now();
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(*packet);
+  bool detected = false;
+  std::uint32_t detected_rule = 0;
+  std::uint8_t detected_severity = 0;
+
   switch (config_.service) {
     case ServiceType::kIntrusionDetection: {
-      for (const ids::Alert& alert : ids_.inspect(*packet)) {
+      for (const ids::Alert& alert : ids_.inspect(*packet, now)) {
+        detected = true;
+        detected_rule = alert.rule_id;
+        detected_severity = alert.severity;
         EventMessage event;
         event.kind = EventKind::kAttackDetected;
         event.rule_id = alert.rule_id;
         event.severity = alert.severity;
         event.flow = alert.flow;
         event.description = alert.rule_name;
-        send_event(std::move(event));
+        queue_event(std::move(event));
       }
       break;
     }
     case ServiceType::kProtocolIdentification: {
-      const l7::Classification c = l7_.classify(*packet);
+      const l7::Classification c = l7_.classify(*packet, now);
       if (c.fresh) {
         EventMessage event;
         event.kind = EventKind::kProtocolIdentified;
         event.rule_id = static_cast<std::uint32_t>(c.proto);
         event.severity = 0;
-        event.flow = pkt::FlowKey::from_packet(*packet);
+        event.flow = key;
         event.description = l7::app_protocol_name(c.proto);
-        send_event(std::move(event));
+        queue_event(std::move(event));
       }
       break;
     }
     case ServiceType::kVirusScan:
     case ServiceType::kContentInspection: {
-      for (const auto& detection : scanner_.scan(*packet)) {
+      for (const auto& detection : scanner_.scan(*packet, now)) {
+        detected = true;
+        detected_rule = detection.signature_id;
+        detected_severity = detection.severity;
         EventMessage event;
         event.kind = config_.service == ServiceType::kVirusScan ? EventKind::kVirusFound
                                                                 : EventKind::kContentViolation;
         event.rule_id = detection.signature_id;
         event.severity = detection.severity;
-        event.flow = pkt::FlowKey::from_packet(*packet);
+        event.flow = key;
         event.description = detection.family;
-        send_event(std::move(event));
+        queue_event(std::move(event));
       }
       break;
     }
@@ -116,28 +203,95 @@ void ServiceElement::process(pkt::PacketPtr packet) {
         event.kind = EventKind::kFirewallDenied;
         event.rule_id = verdict.rule_id;
         event.severity = 4;
-        event.flow = pkt::FlowKey::from_packet(*packet);
+        event.flow = key;
         event.description = "firewall rule " + std::to_string(verdict.rule_id);
-        send_event(std::move(event));
+        queue_event(std::move(event));
+        note_verdict_progress(key, packet->payload_size(), true, verdict.rule_id, 4);
         return;  // denied: the packet is NOT reflected (dropped in the VM)
       }
       break;
     }
   }
 
+  note_verdict_progress(key, packet->payload_size(), detected, detected_rule, detected_severity);
+
   // Bypass mode: reflect the packet back toward the AS switch unchanged; the
   // switch's return-path flow entry (paper §IV.A step iii) carries it on.
   send(0, std::move(packet));
+}
+
+void ServiceElement::note_verdict_progress(const pkt::FlowKey& key, std::size_t payload_bytes,
+                                           bool detected, std::uint32_t rule_id,
+                                           std::uint8_t severity) {
+  if (config_.verdict_byte_budget == 0) return;
+  const SimTime now = simulator().now();
+  VerdictState& vs = verdicts_.touch(key, now);
+  vs.inspected_bytes += payload_bytes;
+
+  const auto queue_verdict = [&](FlowVerdict kind) {
+    VerdictMessage v;
+    v.verdict = kind;
+    v.flow = key;
+    v.inspected_bytes = vs.inspected_bytes;
+    v.byte_budget = config_.verdict_byte_budget;
+    v.rule_id = rule_id;
+    v.severity = severity;
+    batch_verdicts_.push_back(std::move(v));
+  };
+
+  if (detected) {
+    vs.flagged = true;
+    if (!vs.verdict_sent) {
+      vs.verdict_sent = true;
+      queue_verdict(FlowVerdict::kMalicious);
+    }
+    return;
+  }
+  if (vs.flagged || vs.verdict_sent) return;
+
+  bool done = vs.inspected_bytes >= config_.verdict_byte_budget;
+  switch (config_.service) {
+    case ServiceType::kProtocolIdentification:
+      // The classifier's verdict being final is what ends the inspection
+      // need; undecided at the budget means it still wants early payload.
+      if (l7_.decided(key)) {
+        done = true;
+      } else if (done) {
+        if (!vs.progress_sent) {
+          vs.progress_sent = true;
+          queue_verdict(FlowVerdict::kKeepInspecting);
+        }
+        return;
+      }
+      break;
+    case ServiceType::kFirewall:
+      done = true;  // header-based decision: the first allowed packet settles it
+      break;
+    default:
+      break;
+  }
+  if (!done) return;
+  vs.verdict_sent = true;
+  queue_verdict(FlowVerdict::kBenign);
 }
 
 void ServiceElement::send_heartbeat() {
   if (!running_) return;
   const SimTime now = simulator().now();
 
+  // Idle streaming contexts decay on the heartbeat tick.
+  ids_.contexts().sweep(now);
+  l7_.contexts().sweep(now);
+  scanner_.contexts().sweep(now);
+  verdicts_.sweep(now);
+
   OnlineMessage online;
   online.service = config_.service;
-  // CPU utilization approximated by pipeline occupancy over the last period.
-  const SimTime busy = busy_until_ > now ? busy_until_ - now : 0;
+  // CPU utilization approximated by pipeline occupancy over the last period:
+  // the scheduled batch's remaining busy time plus the still-unscheduled
+  // queue's service demand.
+  const SimTime busy =
+      (busy_until_ > now ? busy_until_ - now : 0) + pending_service_time_;
   const double occupancy =
       std::min(1.0, static_cast<double>(busy) / static_cast<double>(config_.heartbeat_interval));
   online.cpu_percent = static_cast<std::uint8_t>(occupancy * 100.0);
@@ -151,6 +305,11 @@ void ServiceElement::send_heartbeat() {
   online.processed_bytes_total = processed_bytes_;
   online.queued_packets = static_cast<std::uint32_t>(queued_packets_);
   online.capacity_bps = static_cast<std::uint64_t>(config_.processing_bps);
+  online.flow_contexts = static_cast<std::uint32_t>(flow_contexts());
+  online.context_evictions = context_evictions();
+  online.batches_total = batches_total_;
+  online.batch_packets_total = batch_packets_total_;
+  online.batch_size_hist = batch_size_hist_;
   last_report_packets_ = processed_packets_;
   last_report_time_ = now;
 
@@ -166,12 +325,31 @@ void ServiceElement::send_heartbeat() {
   });
 }
 
+void ServiceElement::queue_event(EventMessage event) {
+  for (const EventMessage& queued : batch_events_) {
+    if (queued.kind == event.kind && queued.rule_id == event.rule_id &&
+        queued.flow == event.flow) {
+      return;  // intra-batch duplicate
+    }
+  }
+  batch_events_.push_back(std::move(event));
+}
+
 void ServiceElement::send_event(EventMessage event) {
   DaemonMessage message;
   message.se_id = config_.se_id;
   message.cert_token = config_.cert_token;
   message.body = std::move(event);
   ++events_sent_;
+  send(0, wrap_daemon_message(message));
+}
+
+void ServiceElement::send_verdict(VerdictMessage verdict) {
+  DaemonMessage message;
+  message.se_id = config_.se_id;
+  message.cert_token = config_.cert_token;
+  message.body = std::move(verdict);
+  ++verdicts_sent_;
   send(0, wrap_daemon_message(message));
 }
 

@@ -155,7 +155,13 @@ void OpenFlowSwitch::apply_flow_mod(const of::FlowMod& fm) {
       table_.add(fm.entry, simulator().now());
       break;
     case of::FlowModCommand::kModifyStrict:
-      table_.modify_strict(fm.entry.match, fm.entry.priority, fm.entry.actions);
+      // OF 1.0 MODIFY semantics: no matching entry means insert. Matters to
+      // the verdict-driven rewrite — if the entry idle-expired in the gap
+      // between the flow's last packet and the verdict, the direct-path
+      // rewrite must still land instead of silently no-opping.
+      if (table_.modify_strict(fm.entry.match, fm.entry.priority, fm.entry.actions) == 0) {
+        table_.add(fm.entry, simulator().now());
+      }
       break;
     case of::FlowModCommand::kDeleteStrict:
       table_.remove_strict(fm.entry.match, fm.entry.priority, simulator().now());

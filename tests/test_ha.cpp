@@ -66,6 +66,8 @@ TEST(Replication, RecordCodecRoundTripsEveryType) {
       ha::DhcpReleaseRecord{mac},
       ha::SwitchUpRecord{6, 12, "ovs-floor-3"},
       ha::SwitchDownRecord{6},
+      ha::FlowOffloadedRecord{key, 65536},
+      ha::FlowOnloadedRecord{key},
   };
   ASSERT_EQ(bodies.size(), std::variant_size_v<ha::RecordBody>);
 

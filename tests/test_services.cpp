@@ -77,6 +77,63 @@ TEST(DaemonMessage, EventRoundTrip) {
   EXPECT_EQ(e->description, "web.malicious-site");
 }
 
+TEST(DaemonMessage, OnlineRoundTripCarriesFastPathLoad) {
+  DaemonMessage m;
+  m.se_id = 3;
+  m.cert_token = 0xABCD;
+  OnlineMessage online;
+  online.service = ServiceType::kVirusScan;
+  online.flow_contexts = 321;
+  online.context_evictions = 12;
+  online.batches_total = 400;
+  online.batch_packets_total = 4807;
+  online.batch_size_hist = {1, 2, 3, 4, 5, 6};
+  m.body = online;
+
+  const auto decoded = DaemonMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto* o = std::get_if<OnlineMessage>(&decoded->body);
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->flow_contexts, 321u);
+  EXPECT_EQ(o->context_evictions, 12u);
+  EXPECT_EQ(o->batches_total, 400u);
+  EXPECT_EQ(o->batch_packets_total, 4807u);
+  EXPECT_EQ(o->batch_size_hist, (std::array<std::uint32_t, 6>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(DaemonMessage, VerdictRoundTrip) {
+  DaemonMessage m;
+  m.se_id = 9;
+  m.cert_token = 0x77;
+  VerdictMessage verdict;
+  verdict.verdict = FlowVerdict::kBenign;
+  verdict.flow.dl_src = MacAddress::from_uint64(0xA1);
+  verdict.flow.dl_dst = MacAddress::from_uint64(0x5E0001);  // as seen at the SE
+  verdict.flow.dl_type = 0x0800;
+  verdict.flow.nw_src = Ipv4Address(10, 0, 0, 1);
+  verdict.flow.nw_dst = Ipv4Address(10, 0, 0, 2);
+  verdict.flow.nw_proto = 17;
+  verdict.flow.tp_src = 40000;
+  verdict.flow.tp_dst = 9000;
+  verdict.inspected_bytes = 123456;
+  verdict.byte_budget = 65536;
+  verdict.rule_id = 1013;
+  verdict.severity = 3;
+  m.body = verdict;
+
+  const auto decoded = DaemonMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->se_id, 9u);
+  const auto* v = std::get_if<VerdictMessage>(&decoded->body);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->verdict, FlowVerdict::kBenign);
+  EXPECT_EQ(v->flow, verdict.flow);
+  EXPECT_EQ(v->inspected_bytes, 123456u);
+  EXPECT_EQ(v->byte_budget, 65536u);
+  EXPECT_EQ(v->rule_id, 1013u);
+  EXPECT_EQ(v->severity, 3);
+}
+
 TEST(DaemonMessage, DecodeRejectsBadMagicVersionTruncation) {
   DaemonMessage m;
   m.se_id = 1;
@@ -420,6 +477,108 @@ TEST(VirusScanner, CleanPayloadPasses) {
   EXPECT_EQ(scanner.detections_total(), 0u);
 }
 
+// Regression: a signature split across a packet boundary must still be found.
+// A per-packet rescan from the automaton root misses it; the streaming scan
+// carries the Aho-Corasick state across packets of the flow.
+TEST(VirusScanner, DetectsSignatureSplitAcrossPackets) {
+  scanner::VirusScanner scanner;
+  EXPECT_TRUE(scanner.scan(http_packet("X5O!P%@AP[4\\PZX54(P^)7C")).empty());
+  const auto detections =
+      scanner.scan(http_packet("C)7}$EICAR-STANDARD-ANTIVIRUS-TEST-FILE!$H+H*"));
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].family, "EICAR-Test-File");
+
+  // Reported once per flow: the same marker again on this flow stays silent.
+  EXPECT_TRUE(scanner
+                  .scan(http_packet(
+                      "X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR-STANDARD-ANTIVIRUS-TEST-FILE!"))
+                  .empty());
+  // A different flow carries no state from the first and detects on its own.
+  EXPECT_EQ(scanner
+                .scan(http_packet(
+                    "X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR-STANDARD-ANTIVIRUS-TEST-FILE!", 40001))
+                .size(),
+            1u);
+  EXPECT_EQ(scanner.detections_total(), 2u);
+}
+
+// The documented memory/completeness trade: evicting a flow's context loses
+// mid-stream automaton state, so a marker spanning the eviction is missed.
+TEST(VirusScanner, EvictionLosesCrossPacketState) {
+  scanner::VirusScanner scanner;
+  scanner.contexts().set_limits({1, 0});
+  EXPECT_TRUE(scanner.scan(http_packet("X5O!P%@AP[4\\PZX54(P^)7C")).empty());
+  EXPECT_TRUE(scanner.scan(http_packet("unrelated flow", 40001)).empty());  // evicts the first
+  EXPECT_TRUE(
+      scanner.scan(http_packet("C)7}$EICAR-STANDARD-ANTIVIRUS-TEST-FILE!")).empty());
+  EXPECT_GE(scanner.contexts().evictions_lru(), 1u);
+}
+
+// --- FlowContextTable -----------------------------------------------------------------
+
+pkt::FlowKey context_key(std::uint16_t src_port) {
+  pkt::FlowKey key;
+  key.dl_src = MacAddress::from_uint64(0xA1);
+  key.dl_dst = MacAddress::from_uint64(0xB2);
+  key.dl_type = 0x0800;
+  key.nw_src = Ipv4Address(10, 0, 0, 1);
+  key.nw_dst = Ipv4Address(10, 0, 0, 2);
+  key.nw_proto = 6;
+  key.tp_src = src_port;
+  key.tp_dst = 80;
+  return key;
+}
+
+TEST(FlowContextTable, TouchRefreshesLruAndFullTableEvictsColdest) {
+  FlowContextTable<int> table({2, 0});
+  table.touch(context_key(1), 10) = 100;
+  table.touch(context_key(2), 20) = 200;
+  table.touch(context_key(1), 30);  // refresh: key 2 is now the LRU tail
+  table.touch(context_key(3), 40);  // full: evicts key 2
+
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.find(context_key(2)), nullptr);
+  ASSERT_NE(table.find(context_key(1)), nullptr);
+  EXPECT_EQ(*table.find(context_key(1)), 100);  // state survived the refresh
+  EXPECT_EQ(table.created(), 3u);
+  EXPECT_EQ(table.evictions_lru(), 1u);
+  EXPECT_EQ(table.evictions_total(), 1u);
+}
+
+TEST(FlowContextTable, SweepDropsOnlyIdleContexts) {
+  FlowContextTable<int> table({8, 10});
+  table.touch(context_key(1), 0);
+  table.touch(context_key(2), 5);
+  EXPECT_EQ(table.sweep(9), 0u);   // neither idle past the timeout yet
+  EXPECT_EQ(table.sweep(12), 1u);  // key 1 idle for 12, key 2 only 7
+  EXPECT_EQ(table.find(context_key(1)), nullptr);
+  EXPECT_NE(table.find(context_key(2)), nullptr);
+  EXPECT_EQ(table.evictions_idle(), 1u);
+  EXPECT_EQ(table.sweep(100), 1u);  // key 2 eventually ages out too
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowContextTable, ShrinkingCapacityEvictsImmediately) {
+  FlowContextTable<int> table({4, 0});
+  for (std::uint16_t p = 1; p <= 4; ++p) table.touch(context_key(p), p);
+  table.set_limits({2, 0});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.evictions_lru(), 2u);
+  // The two most recently touched survive.
+  EXPECT_NE(table.find(context_key(3)), nullptr);
+  EXPECT_NE(table.find(context_key(4)), nullptr);
+  EXPECT_EQ(table.find(context_key(1)), nullptr);
+}
+
+TEST(FlowContextTable, EraseDropsWithoutCountingAsEviction) {
+  FlowContextTable<int> table({4, 0});
+  table.touch(context_key(1), 0);
+  table.erase(context_key(1));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.evictions_total(), 0u);
+  table.erase(context_key(9));  // absent key: no-op
+}
+
 // --- ServiceElement pipeline -----------------------------------------------------------
 
 class Collector : public sim::Node {
@@ -612,6 +771,245 @@ TEST(ServiceElement, StopHaltsHeartbeatsAndProcessing) {
   peer.emit(pkt::finalize(std::move(p)));
   settle(sim);
   EXPECT_EQ(se.processed_packets(), 0u);
+}
+
+// --- ServiceElement verdict emission -----------------------------------------------
+
+std::vector<VerdictMessage> collect_verdicts(const std::vector<pkt::PacketPtr>& received) {
+  std::vector<VerdictMessage> out;
+  for (const auto& p : received) {
+    if (!is_daemon_packet(*p)) continue;
+    const auto m = DaemonMessage::decode(p->payload_view());
+    if (!m.has_value()) continue;
+    if (const auto* v = std::get_if<VerdictMessage>(&m->body)) out.push_back(*v);
+  }
+  return out;
+}
+
+TEST(ServiceElement, BenignVerdictAfterCleanBudgetOncePerFlow) {
+  sim::Simulator sim;
+  auto config = se_config(ServiceType::kIntrusionDetection);
+  config.verdict_byte_budget = 64;
+  ServiceElement se(sim, "se1", config);
+  Collector peer(sim);
+  auto link = sim::connect(sim, se.port(0), peer.port(0));
+  se.start();
+  settle(sim);
+  peer.received.clear();
+
+  pkt::Packet clean = http_packet(std::string(100, 'a'));
+  clean.eth.dst = se.mac();
+  peer.emit(pkt::finalize(clean));
+  settle(sim);
+
+  const auto verdicts = collect_verdicts(peer.received);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].verdict, FlowVerdict::kBenign);
+  EXPECT_GE(verdicts[0].inspected_bytes, 64u);
+  EXPECT_EQ(verdicts[0].byte_budget, 64u);
+  // The flow key is the one observed at the SE: dl_dst already rewritten.
+  EXPECT_EQ(verdicts[0].flow.dl_dst, se.mac());
+  EXPECT_EQ(verdicts[0].flow.tp_dst, 80);
+
+  // More clean traffic on the decided flow stays verdict-silent.
+  peer.received.clear();
+  pkt::Packet more = http_packet(std::string(100, 'b'));
+  more.eth.dst = se.mac();
+  peer.emit(pkt::finalize(more));
+  settle(sim);
+  EXPECT_TRUE(collect_verdicts(peer.received).empty());
+  EXPECT_EQ(se.verdicts_sent(), 1u);
+}
+
+TEST(ServiceElement, NoVerdictsWhenBudgetDisabled) {
+  sim::Simulator sim;
+  ServiceElement se(sim, "se1", se_config(ServiceType::kIntrusionDetection));  // budget 0
+  Collector peer(sim);
+  auto link = sim::connect(sim, se.port(0), peer.port(0));
+  se.start();
+  settle(sim);
+  peer.received.clear();
+
+  pkt::Packet clean = http_packet(std::string(2000, 'a'));
+  clean.eth.dst = se.mac();
+  peer.emit(pkt::finalize(clean));
+  settle(sim);
+  EXPECT_TRUE(collect_verdicts(peer.received).empty());
+  EXPECT_EQ(se.verdicts_sent(), 0u);
+}
+
+TEST(ServiceElement, MaliciousVerdictOnDetection) {
+  sim::Simulator sim;
+  auto config = se_config(ServiceType::kIntrusionDetection);
+  config.verdict_byte_budget = 1 << 20;  // far away: detection decides first
+  ServiceElement se(sim, "se1", config);
+  Collector peer(sim);
+  auto link = sim::connect(sim, se.port(0), peer.port(0));
+  se.start();
+  settle(sim);
+  peer.received.clear();
+
+  pkt::Packet attack = http_packet("id=1 UNION SELECT password FROM users");
+  attack.eth.dst = se.mac();
+  peer.emit(pkt::finalize(attack));
+  settle(sim);
+
+  const auto verdicts = collect_verdicts(peer.received);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].verdict, FlowVerdict::kMalicious);
+  EXPECT_EQ(verdicts[0].rule_id, 1001u);
+  EXPECT_EQ(verdicts[0].severity, 8);
+  EXPECT_EQ(se.events_sent(), 1u);  // the EVENT report still goes out alongside
+}
+
+TEST(ServiceElement, L7KeepsInspectingAtBudgetThenBenignOnDecision) {
+  sim::Simulator sim;
+  auto config = se_config(ServiceType::kProtocolIdentification);
+  config.verdict_byte_budget = 16;
+  ServiceElement se(sim, "se1", config);
+  Collector peer(sim);
+  auto link = sim::connect(sim, se.port(0), peer.port(0));
+  se.start();
+  settle(sim);
+  peer.received.clear();
+
+  // Budget crossed but the classifier is still undecided: the SE asks the
+  // controller to keep the flow steered instead of declaring it benign.
+  pkt::Packet opaque = http_packet("preamble preamble ");
+  opaque.eth.dst = se.mac();
+  peer.emit(pkt::finalize(opaque));
+  settle(sim);
+  auto verdicts = collect_verdicts(peer.received);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].verdict, FlowVerdict::kKeepInspecting);
+
+  // Once the classifier decides, the benign verdict follows.
+  peer.received.clear();
+  pkt::Packet http = http_packet("HTTP/1.1 200 OK");
+  http.eth.dst = se.mac();
+  peer.emit(pkt::finalize(http));
+  settle(sim);
+  verdicts = collect_verdicts(peer.received);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].verdict, FlowVerdict::kBenign);
+  EXPECT_EQ(se.verdicts_sent(), 2u);
+}
+
+TEST(ServiceElement, FirewallVerdictsOnFirstPacket) {
+  sim::Simulator sim;
+  auto config = se_config(ServiceType::kFirewall);
+  config.verdict_byte_budget = 1 << 20;
+  fw::FwRule deny;
+  deny.id = 10;
+  deny.name = "deny-9999";
+  deny.action = fw::FwAction::kDeny;
+  deny.dst_port = 9999;
+  config.firewall_rules.push_back(deny);
+  ServiceElement se(sim, "se1", config);
+  Collector peer(sim);
+  auto link = sim::connect(sim, se.port(0), peer.port(0));
+  se.start();
+  settle(sim);
+  peer.received.clear();
+
+  // Header-based decision: one allowed packet settles the flow as benign,
+  // long before any byte budget.
+  pkt::Packet allowed = http_packet("hello");
+  allowed.eth.dst = se.mac();
+  peer.emit(pkt::finalize(allowed));
+  settle(sim);
+  auto verdicts = collect_verdicts(peer.received);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].verdict, FlowVerdict::kBenign);
+
+  peer.received.clear();
+  pkt::Packet denied = http_packet("hello", 40001);
+  denied.tcp->dst_port = 9999;
+  denied.eth.dst = se.mac();
+  peer.emit(pkt::finalize(denied));
+  settle(sim);
+  verdicts = collect_verdicts(peer.received);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].verdict, FlowVerdict::kMalicious);
+  EXPECT_EQ(verdicts[0].rule_id, 10u);
+}
+
+// --- ServiceElement batch-drain telemetry ------------------------------------------
+
+TEST(ServiceElement, BatchDrainCoalescesBurstsAndCountsThem) {
+  sim::Simulator sim;
+  auto config = se_config(ServiceType::kIntrusionDetection);
+  config.processing_bps = 100e6;          // service time >> arrival spacing
+  config.heartbeat_interval = 100 * kSecond;
+  ServiceElement se(sim, "se1", config);
+  Collector peer(sim);
+  sim::Link::Config fast;
+  fast.bandwidth_bps = 10e9;
+  fast.max_queue_bytes = 1 << 30;
+  auto link = sim::connect(sim, se.port(0), peer.port(0), fast);
+  se.start();
+  settle(sim);
+
+  for (int i = 0; i < 40; ++i) {
+    pkt::Packet p = http_packet(std::string(1300, 'x'),
+                                static_cast<std::uint16_t>(30000 + i));
+    p.tcp->dst_port = 9999;
+    p.eth.dst = se.mac();
+    peer.emit(pkt::finalize(std::move(p)));
+  }
+  settle(sim, 2 * kSecond);
+
+  EXPECT_EQ(se.processed_packets(), 40u);
+  EXPECT_EQ(se.batch_packets_total(), 40u);
+  // The burst queues behind the first (solo) batch, so later drains coalesce
+  // many packets into one simulator event — up to batch_max_packets at once.
+  EXPECT_GE(se.batches_total(), 2u);
+  EXPECT_LE(se.batches_total(), 40u / 2);
+  const auto& hist = se.batch_size_hist();
+  std::uint64_t hist_sum = 0;
+  for (std::uint32_t bucket : hist) hist_sum += bucket;
+  EXPECT_EQ(hist_sum, se.batches_total());
+  EXPECT_GE(hist[0], 1u);  // the burst-opening solo batch
+  EXPECT_GE(hist[5], 1u);  // a full 32+ batch once the queue built up
+  // One streaming context per distinct flow.
+  EXPECT_EQ(se.flow_contexts(), 40u);
+}
+
+TEST(ServiceElement, HeartbeatReportsFastPathLoad) {
+  sim::Simulator sim;
+  auto config = se_config(ServiceType::kIntrusionDetection);
+  config.heartbeat_interval = 50 * kMillisecond;
+  config.max_flow_contexts = 2;
+  ServiceElement se(sim, "se1", config);
+  Collector peer(sim);
+  auto link = sim::connect(sim, se.port(0), peer.port(0));
+  se.start();
+  settle(sim, 10 * kMillisecond);
+  peer.received.clear();
+
+  for (int i = 0; i < 3; ++i) {
+    pkt::Packet p = http_packet("clean", static_cast<std::uint16_t>(32000 + i));
+    p.eth.dst = se.mac();
+    peer.emit(pkt::finalize(std::move(p)));
+  }
+  settle(sim, 200 * kMillisecond);
+
+  std::optional<OnlineMessage> last;
+  for (const auto& p : peer.received) {
+    if (!is_daemon_packet(*p)) continue;
+    const auto m = DaemonMessage::decode(p->payload_view());
+    if (!m.has_value()) continue;
+    if (const auto* o = std::get_if<OnlineMessage>(&m->body)) last = *o;
+  }
+  ASSERT_TRUE(last.has_value());
+  // Three flows through a 2-context table: occupancy capped, eviction visible.
+  EXPECT_EQ(last->flow_contexts, 2u);
+  EXPECT_GE(last->context_evictions, 1u);
+  EXPECT_GE(last->batches_total, 1u);
+  EXPECT_EQ(last->batch_packets_total, 3u);
+  std::uint64_t hist_sum = 0;
+  for (std::uint32_t bucket : last->batch_size_hist) hist_sum += bucket;
+  EXPECT_EQ(hist_sum, last->batches_total);
 }
 
 }  // namespace
