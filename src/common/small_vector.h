@@ -98,6 +98,8 @@ class SmallVector {
   void push_back(const T& v) { emplace_back(v); }
   void push_back(T&& v) { emplace_back(std::move(v)); }
 
+  void pop_back() { data_[--size_].~T(); }
+
   template <typename... Args>
   T& emplace_back(Args&&... args) {
     if (size_ == capacity_) grow(capacity_ * 2);

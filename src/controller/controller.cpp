@@ -17,11 +17,13 @@ Controller::Controller(sim::Simulator& sim) : Controller(sim, Config{}) {}
 Controller::Controller(sim::Simulator& sim, Config config)
     : sim_(&sim),
       config_(config),
-      routing_(config.host_timeout),
+      routing_(config.host_timeout, config.routing_shards),
       registry_(config.se_liveness_timeout),
       policies_(config.default_action),
       ca_(config.cert_secret),
-      lb_(config.lb_strategy) {
+      lb_(config.lb_strategy),
+      events_(config.event_store_capacity),
+      flows_by_host_(config.routing_shards) {
   // Pre-size the per-flow tables: flow setup inserts into each of these on
   // every new flow, and growing them one rehash at a time under load puts
   // the rehash right on the packet-in latency path.
@@ -115,28 +117,26 @@ void Controller::handle_switch_disconnected(DatapathId dpid) {
   raise(mon::EventType::kSwitchLeave, it->second.name, "dpid=" + std::to_string(dpid), dpid);
   replicate(ha::SwitchDownRecord{dpid});
   topology_.remove_switch(dpid);
+  // Tear down every flow with a hop (ingress, egress or SE steering entry)
+  // on the dead switch: its FlowRemoved can never arrive, so without this
+  // the FlowRecord and its index entries leak forever, and entries on
+  // surviving switches keep forwarding into a black hole. A flow's entries
+  // sit only on its endpoints' switches and its chain SEs' switches, so the
+  // per-host index plus an SE sweep covers them all without scanning flows_
+  // (hosts that moved off this switch already had their stale flows torn
+  // down when the move was learned).
   for (const HostLocation& host : routing_.remove_switch(dpid)) {
     replicate(ha::HostRemovedRecord{host.mac});
     raise(mon::EventType::kHostLeave, host.mac.to_string(), "switch disconnected", dpid);
+    teardown_flows_of_host(host.mac);
+  }
+  for (const SeRecord* se : registry_.all()) {
+    if (se->dpid == dpid) teardown_flows_through_se(se->se_id);
   }
   drop_pending_for_switch(dpid);
   if (reconciling_ && reconcile_pending_.erase(dpid) > 0 && reconcile_pending_.empty()) {
     finish_reconciliation();
   }
-  // Tear down every flow with a hop (ingress, egress or SE steering entry)
-  // on the dead switch: its FlowRemoved can never arrive, so without this
-  // the FlowRecord and its index entries leak forever, and entries on
-  // surviving switches keep forwarding into a black hole.
-  std::vector<pkt::FlowKey> affected;
-  for (const auto& [key, record] : flows_) {
-    for (const auto& [entry_dpid, match] : record.installed) {
-      if (entry_dpid == dpid) {
-        affected.push_back(key);
-        break;
-      }
-    }
-  }
-  for (const pkt::FlowKey& key : affected) teardown_flow(key);
   switch_loads_.erase(dpid);
   ls_ports_.erase(dpid);
   ++epoch_;  // cached decisions may route through or ingress at this switch
@@ -1280,19 +1280,13 @@ void Controller::expire_pending(SimTime now) {
 // --- per-host flow index -------------------------------------------------------------
 
 void Controller::index_flow_host(const pkt::FlowKey& key, const FlowRecord& record) {
-  flows_by_host_[record.user].insert(key);
-  if (key.dl_dst != record.user) flows_by_host_[key.dl_dst].insert(key);
+  flows_by_host_.add(record.user, key);
+  if (key.dl_dst != record.user) flows_by_host_.add(key.dl_dst, key);
 }
 
 void Controller::unindex_flow_host(const pkt::FlowKey& key, const FlowRecord& record) {
-  const auto erase_from = [&](const MacAddress& mac) {
-    auto it = flows_by_host_.find(mac);
-    if (it == flows_by_host_.end()) return;
-    it->second.erase(key);
-    if (it->second.empty()) flows_by_host_.erase(it);
-  };
-  erase_from(record.user);
-  if (key.dl_dst != record.user) erase_from(key.dl_dst);
+  flows_by_host_.remove(record.user, key);
+  if (key.dl_dst != record.user) flows_by_host_.remove(key.dl_dst, key);
 }
 
 void Controller::install_drop(DatapathId dpid, PortId in_port, const pkt::FlowKey& key) {
@@ -1356,10 +1350,12 @@ std::size_t Controller::teardown_flows_through_se(std::uint64_t se_id) {
 }
 
 std::size_t Controller::teardown_flows_of_host(const MacAddress& mac) {
-  auto it = flows_by_host_.find(mac);
-  if (it == flows_by_host_.end()) return 0;
+  const FlowSet* flows = flows_by_host_.find(mac);
+  if (flows == nullptr) return 0;
   // Copy: teardown_flow mutates the index.
-  const std::vector<pkt::FlowKey> affected(it->second.begin(), it->second.end());
+  std::vector<pkt::FlowKey> affected;
+  affected.reserve(flows->size());
+  flows->for_each([&affected](const pkt::FlowKey& key) { affected.push_back(key); });
   for (const pkt::FlowKey& key : affected) teardown_flow(key);
   return affected.size();
 }
@@ -1438,6 +1434,12 @@ void Controller::housekeeping_tick() {
 
   for (const HostLocation& host : routing_.expire(now)) {
     replicate(ha::HostRemovedRecord{host.mac});
+    // An expired host's flows must die with its location record: the next
+    // packet-in for them would otherwise replay stale paths, and at campus
+    // scale one batched expiry sweep can remove thousands of hosts — each
+    // must be torn down and announced here, exactly once (expire() bumps
+    // the routing version once for the whole batch).
+    teardown_flows_of_host(host.mac);
     if (registry_.find_by_mac(host.mac) != nullptr) continue;  // SEs expire below
     topology_.remove_node(host.mac.to_string());
     raise(mon::EventType::kHostLeave, host.mac.to_string(), "arp timeout", host.dpid);
@@ -1477,8 +1479,7 @@ void Controller::housekeeping_tick() {
 // --- helpers -----------------------------------------------------------------------
 
 const Controller::SwitchLoad* Controller::switch_load(DatapathId dpid) const {
-  auto it = switch_loads_.find(dpid);
-  return it == switch_loads_.end() ? nullptr : &it->second;
+  return switch_loads_.find(dpid);
 }
 
 void Controller::poll_stats() {
@@ -1665,7 +1666,7 @@ std::vector<ha::RecordBody> Controller::export_state() const {
 }
 
 void Controller::import_snapshot(const std::vector<ha::RecordBody>& records) {
-  routing_ = RoutingTable(config_.host_timeout);
+  routing_ = RoutingTable(config_.host_timeout, config_.routing_shards);
   registry_ = ServiceRegistry(config_.se_liveness_timeout);
   policies_ = PolicyTable(config_.default_action);
   install_policy_observer();

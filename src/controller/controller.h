@@ -16,6 +16,7 @@
 #include "common/hash.h"
 #include "controller/certification.h"
 #include "controller/dhcp_pool.h"
+#include "controller/host_index.h"
 #include "controller/load_balancer.h"
 #include "controller/policy.h"
 #include "controller/routing_table.h"
@@ -85,6 +86,12 @@ class Controller : public of::ControllerEndpoint {
     /// setups of the same flow). Full flush at capacity, like the decision
     /// cache. 0 disables the memo (offload still rewrites live flows).
     std::size_t offload_table_capacity = 8192;
+    /// Partition count for the host-scale state (routing table shards, IP
+    /// index, per-host flow index). Rounded up to a power of two.
+    std::size_t routing_shards = RoutingTable::kDefaultShards;
+    /// Event-database ring bound (0 = unbounded). Campus-scale runs bound
+    /// it so churn events cannot grow controller memory without limit.
+    std::size_t event_store_capacity = 0;
   };
 
   Controller(sim::Simulator& sim, Config config);
@@ -255,6 +262,8 @@ class Controller : public of::ControllerEndpoint {
   // Fast-path state sizes (WebUI & tests).
   std::size_t decision_cache_size() const { return decision_cache_.size(); }
   std::size_t pending_setup_count() const { return pending_setups_.size(); }
+  /// Hosts with at least one indexed active flow (scale observability).
+  std::size_t host_flow_index_size() const { return flows_by_host_.host_count(); }
   std::size_t offloaded_flow_count() const { return offloaded_flows_.size(); }
   bool flow_offloaded(const pkt::FlowKey& key) const { return offloaded_flows_.contains(key); }
 
@@ -555,7 +564,9 @@ class Controller : public of::ControllerEndpoint {
   std::map<DatapathId, SimTime> last_switch_echo_;
   /// Last fabric-priming time per MAC (re-primed after kPrimeInterval).
   std::unordered_map<MacAddress, SimTime> primed_;
-  std::map<DatapathId, SwitchLoad> switch_loads_;
+  /// Per-switch load partitions, flat-hashed by dpid (thousands of AS
+  /// switches at campus scale; no per-entry heap nodes).
+  FlatHashMap<std::uint64_t, SwitchLoad> switch_loads_;
   SimTime next_stats_poll_ = 0;
   std::optional<DhcpPool> dhcp_;
   std::map<DatapathId, PortId> mirror_ports_;
@@ -581,8 +592,9 @@ class Controller : public of::ControllerEndpoint {
   std::map<pkt::FlowKey, OffloadEntry> offloaded_flows_;
   /// In-flight flow setups, keyed by the concrete forward 9-tuple.
   std::unordered_map<pkt::FlowKey, PendingSetup> pending_setups_;
-  /// Endpoint MAC -> forward keys of active flows touching it.
-  std::unordered_map<MacAddress, std::unordered_set<pkt::FlowKey>> flows_by_host_;
+  /// Endpoint MAC -> forward keys of active flows touching it, MAC-sharded
+  /// like the routing table.
+  HostFlowIndex flows_by_host_;
 };
 
 }  // namespace livesec::ctrl

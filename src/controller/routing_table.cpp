@@ -1,87 +1,250 @@
 #include "controller/routing_table.h"
 
+#include <algorithm>
+
 namespace livesec::ctrl {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+}  // namespace
+
+RoutingTable::RoutingTable(SimTime host_timeout, std::size_t shards)
+    : timeout_(host_timeout),
+      // Coarse buckets bound wheel size: a bucket per eighth of the timeout
+      // is enough resolution (expiry is already quantized by the caller's
+      // housekeeping interval) while keeping bucket count ~ O(active span).
+      wheel_granularity_(host_timeout > 0 ? std::max<SimTime>(host_timeout / 8, 1) : 1) {
+  const std::size_t count = round_up_pow2(std::max<std::size_t>(shards, 1));
+  shard_mask_ = count - 1;
+  shards_.resize(count);
+  ip_shards_.resize(count);
+}
+
+// --- arena -------------------------------------------------------------------
+
+std::uint32_t RoutingTable::allocate_slot(Shard& shard) {
+  if (shard.free_head != kNil) {
+    const std::uint32_t slot = shard.free_head;
+    shard.free_head = record_at(shard, slot).dpid_next;
+    return slot;
+  }
+  if (shard.arena_size % kChunkSlots == 0) {
+    shard.chunks.push_back(std::make_unique<Record[]>(kChunkSlots));
+  }
+  return shard.arena_size++;
+}
+
+void RoutingTable::free_slot(Shard& shard, std::uint32_t slot) {
+  Record& rec = record_at(shard, slot);
+  rec.live = false;
+  ++rec.wheel_epoch;  // any filed wheel entry for this slot is now stale
+  rec.dpid_prev = kNil;
+  rec.dpid_next = shard.free_head;
+  shard.free_head = slot;
+}
+
+// --- per-dpid chains ---------------------------------------------------------
+
+void RoutingTable::link_dpid(Shard& shard, std::uint32_t slot) {
+  Record& rec = record_at(shard, slot);
+  const std::uint32_t* head = shard.dpid_head.find(rec.loc.dpid);
+  rec.dpid_prev = kNil;
+  rec.dpid_next = head == nullptr ? kNil : *head;
+  if (rec.dpid_next != kNil) record_at(shard, rec.dpid_next).dpid_prev = slot;
+  shard.dpid_head.insert_or_assign(rec.loc.dpid, slot);
+}
+
+void RoutingTable::unlink_dpid(Shard& shard, std::uint32_t slot) {
+  Record& rec = record_at(shard, slot);
+  if (rec.dpid_prev != kNil) {
+    record_at(shard, rec.dpid_prev).dpid_next = rec.dpid_next;
+  } else {
+    // Head of the chain.
+    if (rec.dpid_next != kNil) {
+      shard.dpid_head.insert_or_assign(rec.loc.dpid, rec.dpid_next);
+    } else {
+      shard.dpid_head.erase(rec.loc.dpid);
+    }
+  }
+  if (rec.dpid_next != kNil) record_at(shard, rec.dpid_next).dpid_prev = rec.dpid_prev;
+  rec.dpid_prev = kNil;
+  rec.dpid_next = kNil;
+}
+
+// --- timeout wheel -----------------------------------------------------------
+
+SimTime RoutingTable::wheel_bucket(SimTime deadline) const {
+  const SimTime g = wheel_granularity_;
+  return ((deadline + g - 1) / g) * g;
+}
+
+void RoutingTable::file_in_wheel(Shard& shard, std::uint32_t slot) {
+  if (timeout_ <= 0) return;
+  Record& rec = record_at(shard, slot);
+  ++rec.wheel_epoch;  // invalidate any earlier filing
+  shard.wheel[wheel_bucket(rec.loc.last_seen + timeout_)].emplace_back(slot, rec.wheel_epoch);
+}
+
+void RoutingTable::advance_wheel(Shard& shard, SimTime now, std::vector<HostLocation>& removed) {
+  if (timeout_ <= 0) return;
+  const SimTime horizon = wheel_bucket(now);
+  // Refiles are deferred: a not-yet-due record's new bucket may quantize to
+  // a key we are still draining, and re-inserting there would loop.
+  std::vector<std::uint32_t> refile;
+  while (!shard.wheel.empty() && shard.wheel.begin()->first <= horizon) {
+    auto node = shard.wheel.extract(shard.wheel.begin());
+    for (const auto& [slot, epoch] : node.mapped()) {
+      const Record& rec = record_at(shard, slot);
+      if (!rec.live || rec.wheel_epoch != epoch) continue;  // stale filing
+      if (now - rec.loc.last_seen >= timeout_) {
+        removed.push_back(remove_slot(shard, slot, /*from_chain_walk=*/false));
+      } else {
+        refile.push_back(slot);  // idle clock was refreshed since filing
+      }
+    }
+  }
+  for (std::uint32_t slot : refile) file_in_wheel(shard, slot);
+}
+
+// --- IP secondary index ------------------------------------------------------
+
+void RoutingTable::assign_ip(Ipv4Address ip, std::uint64_t mac48) {
+  auto& index = ip_shard(ip);
+  if (std::uint64_t* owner = index.find(ip.value())) {
+    if (*owner != mac48) {
+      // DHCP re-lease: the previous holder lost the address. Clear it from
+      // the loser's record so a later remove/expire of the loser cannot
+      // erase the new owner's index entry (the stale-index bug).
+      Shard& loser_shard = shard_of_mac(*owner);
+      if (const std::uint32_t* loser_slot = loser_shard.by_mac.find(*owner)) {
+        record_at(loser_shard, *loser_slot).loc.ip = Ipv4Address();
+      }
+      *owner = mac48;
+    }
+    return;
+  }
+  index.insert_or_assign(ip.value(), mac48);
+}
+
+void RoutingTable::release_ip(Ipv4Address ip, std::uint64_t mac48) {
+  if (ip.is_zero()) return;
+  auto& index = ip_shard(ip);
+  // Conditional erase: the address may already belong to another host.
+  if (const std::uint64_t* owner = index.find(ip.value()); owner && *owner == mac48) {
+    index.erase(ip.value());
+  }
+}
+
+// --- public API --------------------------------------------------------------
 
 bool RoutingTable::learn(const MacAddress& mac, Ipv4Address ip, DatapathId dpid, PortId port,
                          SimTime now) {
-  auto it = by_mac_.find(mac);
-  if (it == by_mac_.end()) {
-    HostLocation loc;
-    loc.mac = mac;
-    loc.ip = ip;
-    loc.dpid = dpid;
-    loc.port = port;
-    loc.first_seen = now;
-    loc.last_seen = now;
-    by_mac_.emplace(mac, loc);
-    if (!ip.is_zero()) by_ip_[ip] = mac;
-    ++version_;
-    return true;
+  const std::uint64_t mac48 = mac.to_uint64();
+  Shard& shard = shard_of_mac(mac48);
+  if (const std::uint32_t* found = shard.by_mac.find(mac48)) {
+    const std::uint32_t slot = *found;
+    Record& rec = record_at(shard, slot);
+    const bool moved = rec.loc.dpid != dpid || rec.loc.port != port;
+    const bool ip_changed = !ip.is_zero() && rec.loc.ip != ip;
+    if (ip_changed) {
+      release_ip(rec.loc.ip, mac48);
+      rec.loc.ip = ip;
+      assign_ip(ip, mac48);
+    }
+    if (moved) {
+      unlink_dpid(shard, slot);
+      rec.loc.dpid = dpid;
+      rec.loc.port = port;
+      link_dpid(shard, slot);
+    }
+    rec.loc.last_seen = now;
+    // An IP re-lease changes the ip->mac mapping even when the host did not
+    // move: IP-keyed consumers (ARP proxy answers, decision caches) must
+    // see the version move or they keep serving the old binding.
+    if (moved || ip_changed) ++version_;
+    return moved;
   }
-  HostLocation& loc = it->second;
-  const bool moved = loc.dpid != dpid || loc.port != port;
-  if (!ip.is_zero() && loc.ip != ip) {
-    by_ip_.erase(loc.ip);
-    loc.ip = ip;
-    by_ip_[ip] = mac;
-  }
-  loc.dpid = dpid;
-  loc.port = port;
-  loc.last_seen = now;
-  if (moved) ++version_;
-  return moved;
+
+  const std::uint32_t slot = allocate_slot(shard);
+  Record& rec = record_at(shard, slot);
+  rec.loc = HostLocation{mac, ip, dpid, port, now, now};
+  rec.live = true;
+  shard.by_mac.insert_or_assign(mac48, slot);
+  link_dpid(shard, slot);
+  file_in_wheel(shard, slot);
+  if (!ip.is_zero()) assign_ip(ip, mac48);
+  ++shard.live_count;
+  ++total_;
+  ++version_;
+  return true;
 }
 
 void RoutingTable::touch(const MacAddress& mac, SimTime now) {
-  auto it = by_mac_.find(mac);
-  if (it != by_mac_.end()) it->second.last_seen = now;
+  const std::uint64_t mac48 = mac.to_uint64();
+  Shard& shard = shard_of_mac(mac48);
+  if (const std::uint32_t* slot = shard.by_mac.find(mac48)) {
+    record_at(shard, *slot).loc.last_seen = now;  // wheel re-files lazily
+  }
 }
 
 const HostLocation* RoutingTable::find(const MacAddress& mac) const {
-  auto it = by_mac_.find(mac);
-  return it == by_mac_.end() ? nullptr : &it->second;
+  const std::uint64_t mac48 = mac.to_uint64();
+  const Shard& shard = shard_of_mac(mac48);
+  const std::uint32_t* slot = shard.by_mac.find(mac48);
+  return slot == nullptr ? nullptr : &record_at(shard, *slot).loc;
 }
 
 const HostLocation* RoutingTable::find_by_ip(Ipv4Address ip) const {
-  auto it = by_ip_.find(ip);
-  if (it == by_ip_.end()) return nullptr;
-  return find(it->second);
+  if (ip.is_zero()) return nullptr;
+  const std::uint64_t* mac48 = ip_shard(ip).find(ip.value());
+  return mac48 == nullptr ? nullptr : find(MacAddress::from_uint64(*mac48));
+}
+
+HostLocation RoutingTable::remove_slot(Shard& shard, std::uint32_t slot, bool from_chain_walk) {
+  Record& rec = record_at(shard, slot);
+  const HostLocation loc = rec.loc;
+  release_ip(loc.ip, loc.mac.to_uint64());
+  shard.by_mac.erase(loc.mac.to_uint64());
+  if (!from_chain_walk) unlink_dpid(shard, slot);
+  free_slot(shard, slot);
+  --shard.live_count;
+  --total_;
+  return loc;
 }
 
 bool RoutingTable::remove(const MacAddress& mac) {
-  auto it = by_mac_.find(mac);
-  if (it == by_mac_.end()) return false;
-  by_ip_.erase(it->second.ip);
-  by_mac_.erase(it);
+  const std::uint64_t mac48 = mac.to_uint64();
+  Shard& shard = shard_of_mac(mac48);
+  const std::uint32_t* slot = shard.by_mac.find(mac48);
+  if (slot == nullptr) return false;
+  remove_slot(shard, *slot, /*from_chain_walk=*/false);
   ++version_;
   return true;
 }
 
 std::vector<HostLocation> RoutingTable::expire(SimTime now) {
   std::vector<HostLocation> removed;
-  for (auto it = by_mac_.begin(); it != by_mac_.end();) {
-    if (timeout_ > 0 && now - it->second.last_seen >= timeout_) {
-      removed.push_back(it->second);
-      by_ip_.erase(it->second.ip);
-      it = by_mac_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  for (Shard& shard : shards_) advance_wheel(shard, now, removed);
   if (!removed.empty()) ++version_;
   return removed;
 }
 
 std::vector<HostLocation> RoutingTable::remove_switch(DatapathId dpid) {
   std::vector<HostLocation> removed;
-  for (auto it = by_mac_.begin(); it != by_mac_.end();) {
-    if (it->second.dpid == dpid) {
-      removed.push_back(it->second);
-      by_ip_.erase(it->second.ip);
-      it = by_mac_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    const std::uint32_t* head = shard.dpid_head.find(dpid);
+    if (head == nullptr) continue;
+    std::uint32_t slot = *head;
+    while (slot != kNil) {
+      const std::uint32_t next = record_at(shard, slot).dpid_next;
+      removed.push_back(remove_slot(shard, slot, /*from_chain_walk=*/true));
+      slot = next;
     }
+    shard.dpid_head.erase(dpid);
   }
   if (!removed.empty()) ++version_;
   return removed;
@@ -89,9 +252,46 @@ std::vector<HostLocation> RoutingTable::remove_switch(DatapathId dpid) {
 
 std::vector<HostLocation> RoutingTable::all() const {
   std::vector<HostLocation> out;
-  out.reserve(by_mac_.size());
-  for (const auto& [mac, loc] : by_mac_) out.push_back(loc);
+  out.reserve(total_);
+  for_each([&out](const HostLocation& loc) { out.push_back(loc); });
   return out;
+}
+
+// --- scale observability -----------------------------------------------------
+
+RoutingTable::ShardStats RoutingTable::shard_stats(std::size_t shard_index) const {
+  ShardStats stats;
+  if (shard_index >= shards_.size()) return stats;
+  const Shard& shard = shards_[shard_index];
+  stats.hosts = shard.live_count;
+  stats.arena_slots = shard.arena_size;
+  stats.index_capacity = shard.by_mac.capacity();
+  stats.wheel_buckets = shard.wheel.size();
+  stats.bytes = shard.chunks.size() * kChunkSlots * sizeof(Record) +
+                shard.by_mac.memory_bytes() + shard.dpid_head.memory_bytes();
+  for (const auto& [bucket, entries] : shard.wheel) {
+    stats.bytes += sizeof(bucket) + entries.capacity() * sizeof(entries[0]) + 48;
+  }
+  return stats;
+}
+
+std::size_t RoutingTable::size_on_switch(DatapathId dpid) const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    const std::uint32_t* head = shard.dpid_head.find(dpid);
+    if (head == nullptr) continue;
+    for (std::uint32_t slot = *head; slot != kNil; slot = record_at(shard, slot).dpid_next) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t RoutingTable::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (std::size_t i = 0; i < shards_.size(); ++i) bytes += shard_stats(i).bytes;
+  for (const auto& index : ip_shards_) bytes += index.memory_bytes();
+  return bytes;
 }
 
 }  // namespace livesec::ctrl

@@ -19,6 +19,7 @@
 #include "net/traffic.h"
 #include "openflow/channel.h"
 #include "packet/packet.h"
+#include "scenario/campus.h"
 #include "sim/simulator.h"
 #include "topology/lldp.h"
 
@@ -194,6 +195,58 @@ TEST(Replication, ExportedStateImportsIntoFreshController) {
   EXPECT_EQ(standby.services().all().size(), 1u);
   EXPECT_EQ(standby.policies().size(), network.controller().policies().size());
   EXPECT_EQ(standby.topology().switch_count(), 2u);
+}
+
+// The sharded record layout must survive a snapshot round-trip after DHCP
+// lease churn: losers of an IP re-lease export with a cleared address, so a
+// standby importing the snapshot rebuilds exactly the same mac and ip maps
+// (bug 1's stale index would otherwise resurrect on the standby).
+TEST(Replication, IpChurnedStateRoundTripsThroughSnapshot) {
+  sim::Simulator sim;
+  ctrl::Controller active(sim);
+
+  scenario::CampusConfig campus_config;
+  campus_config.hosts = 500;
+  scenario::CampusGenerator campus(campus_config);
+  for (std::uint32_t i = 0; i < campus_config.hosts; ++i) {
+    const scenario::CampusHost h = campus.host(i);
+    active.apply_replicated(ha::HostLearnedRecord{h.mac, h.ip, h.dpid, h.port, 0});
+  }
+  // Re-lease a band of addresses to the next host over: host i loses its
+  // address to host i+1, which in turn loses its own to i+2, and so on.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const scenario::CampusHost loser = campus.host(i);
+    const scenario::CampusHost winner = campus.host(i + 1);
+    active.apply_replicated(
+        ha::HostLearnedRecord{winner.mac, loser.ip, winner.dpid, winner.port, kSecond});
+  }
+
+  const auto records = active.export_state();
+  sim::Simulator standby_sim;
+  ctrl::Controller standby(standby_sim);
+  standby.import_snapshot(records);
+
+  ASSERT_EQ(standby.routing().size(), active.routing().size());
+  for (std::uint32_t i = 0; i < campus_config.hosts; ++i) {
+    const scenario::CampusHost h = campus.host(i);
+    const auto* on_active = active.routing().find(h.mac);
+    const auto* on_standby = standby.routing().find(h.mac);
+    ASSERT_NE(on_active, nullptr);
+    ASSERT_NE(on_standby, nullptr);
+    EXPECT_EQ(on_standby->ip, on_active->ip) << "host " << i;
+    EXPECT_EQ(on_standby->dpid, on_active->dpid);
+    EXPECT_EQ(on_standby->port, on_active->port);
+  }
+  // The contested addresses resolve to the same winner on both sides.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const scenario::CampusHost h = campus.host(i);
+    const auto* on_active = active.routing().find_by_ip(h.ip);
+    const auto* on_standby = standby.routing().find_by_ip(h.ip);
+    ASSERT_NE(on_active, nullptr) << "address " << i << " lost on the active";
+    ASSERT_NE(on_standby, nullptr) << "address " << i << " lost on the standby";
+    EXPECT_EQ(on_standby->mac, on_active->mac);
+    EXPECT_EQ(on_active->mac, campus.host(i + 1).mac);
+  }
 }
 
 // --- cluster replication -----------------------------------------------------------

@@ -1,0 +1,166 @@
+// Deterministic campus scenario generator: same seed -> same campus and the
+// same event stream, with the advertised structure (index-derived hosts,
+// time-ordered events, diurnal intensity, flash-crowd concentration).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "scenario/campus.h"
+
+namespace livesec::scenario {
+namespace {
+
+TEST(CampusGenerator, HostRecordsAreIndexDerivedAndDisjoint) {
+  CampusConfig config;
+  config.hosts = 100'000;
+  config.hosts_per_switch = 256;
+  CampusGenerator campus(config);
+
+  EXPECT_EQ(campus.switch_count(), (config.hosts + 255) / 256);
+  EXPECT_EQ(campus.ls_uplink_port(), 257u);
+
+  const CampusHost first = campus.host(0);
+  EXPECT_EQ(first.mac.to_uint64(), 0x02'0000'0000'00ull);
+  EXPECT_EQ(first.ip.value(), (10u << 24) | 1u);
+  EXPECT_EQ(first.dpid, 1u);
+  EXPECT_EQ(first.port, 1u);
+
+  const CampusHost last = campus.host(config.hosts - 1);
+  EXPECT_EQ(last.dpid, campus.switch_count());
+  EXPECT_LE(last.port, config.hosts_per_switch);
+
+  // Index-derived addressing: every host is unique without any lookup table.
+  std::set<std::uint64_t> macs;
+  std::set<std::uint32_t> ips;
+  for (std::uint32_t i = 0; i < config.hosts; i += 997) {
+    const CampusHost h = campus.host(i);
+    EXPECT_TRUE(macs.insert(h.mac.to_uint64()).second);
+    EXPECT_TRUE(ips.insert(h.ip.value()).second);
+    // Locally-administered unicast MACs, never colliding with real vendors.
+    EXPECT_EQ(h.mac.to_uint64() >> 40, 0x02u);
+    EXPECT_GE(h.dpid, 1u);
+    EXPECT_LE(h.dpid, campus.switch_count());
+    EXPECT_GE(h.port, 1u);
+    EXPECT_LE(h.port, config.hosts_per_switch);
+  }
+}
+
+TEST(CampusGenerator, EventStreamIsDeterministicAndTimeOrdered) {
+  CampusConfig config;
+  config.hosts = 5'000;
+  CampusGenerator a(config);
+  CampusGenerator b(config);
+
+  SimTime last = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    const auto ea = a.next_event();
+    const auto eb = b.next_event();
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.at, eb.at);
+    EXPECT_EQ(ea.host, eb.host);
+    EXPECT_EQ(ea.peer, eb.peer);
+
+    EXPECT_GE(ea.at, last);
+    last = ea.at;
+    EXPECT_LT(ea.host, config.hosts);
+    EXPECT_LT(ea.peer, config.hosts);
+    EXPECT_NE(ea.host, ea.peer);
+  }
+
+  // A different seed produces a different stream.
+  config.seed = 0xD1FF;
+  CampusGenerator c(config);
+  CampusGenerator a2(CampusConfig{.hosts = 5'000});
+  int diverged = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next_event().host != c.next_event().host) ++diverged;
+  }
+  EXPECT_GT(diverged, 50);
+}
+
+TEST(CampusGenerator, DiurnalIntensitySwingsBetweenFloorAndPeak) {
+  CampusConfig config;
+  CampusGenerator campus(config);
+
+  EXPECT_NEAR(campus.diurnal_intensity(0), config.night_floor, 1e-9);
+  EXPECT_NEAR(campus.diurnal_intensity(config.day_length / 2), 1.0, 1e-9);
+  EXPECT_NEAR(campus.diurnal_intensity(config.day_length), config.night_floor, 1e-9);
+  for (SimTime t = 0; t < 2 * config.day_length; t += config.day_length / 13) {
+    const double intensity = campus.diurnal_intensity(t);
+    EXPECT_GE(intensity, config.night_floor - 1e-9);
+    EXPECT_LE(intensity, 1.0 + 1e-9);
+  }
+}
+
+TEST(CampusGenerator, EventMixTracksConfiguredFractions) {
+  CampusConfig config;
+  config.hosts = 2'000;
+  config.roam_fraction = 0.10;
+  config.relese_fraction = 0.05;
+  CampusGenerator campus(config);
+
+  int flows = 0;
+  int roams = 0;
+  int releases = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    switch (campus.next_event().kind) {
+      case CampusGenerator::EventKind::kFlow: ++flows; break;
+      case CampusGenerator::EventKind::kRoam: ++roams; break;
+      case CampusGenerator::EventKind::kReLease: ++releases; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(roams) / kDraws, 0.10, 0.02);
+  EXPECT_NEAR(static_cast<double>(releases) / kDraws, 0.05, 0.015);
+  EXPECT_NEAR(static_cast<double>(flows) / kDraws, 0.85, 0.03);
+}
+
+TEST(CampusGenerator, FlashCrowdsConcentrateFlowTargets) {
+  CampusConfig config;
+  config.hosts = 500;
+  config.flows_per_host_per_sec = 0.5;
+  config.day_length = 120 * kSecond;  // fast cycles so windows fall inside the run
+  config.flash_interval = 60 * kSecond;
+  config.flash_duration = 20 * kSecond;
+  config.flash_targets = 4;
+  config.flash_bias = 0.8;
+  CampusGenerator campus(config);
+
+  EXPECT_FALSE(campus.in_flash_crowd(0));
+  EXPECT_TRUE(campus.in_flash_crowd(config.flash_interval / 2));
+  EXPECT_FALSE(campus.in_flash_crowd(config.flash_interval - kSecond));
+
+  std::map<std::uint32_t, int> hot_peers;
+  std::map<std::uint32_t, int> calm_peers;
+  int hot = 0;
+  int calm = 0;
+  while (hot < 4'000 || calm < 4'000) {
+    const auto ev = campus.next_event();
+    if (ev.kind != CampusGenerator::EventKind::kFlow) continue;
+    if (campus.in_flash_crowd(ev.at)) {
+      ++hot_peers[ev.peer];
+      ++hot;
+    } else {
+      ++calm_peers[ev.peer];
+      ++calm;
+    }
+  }
+
+  // Top-4 targets soak up most in-window flows, but near-none outside.
+  const auto top4_share = [](const std::map<std::uint32_t, int>& peers, int total) {
+    std::vector<int> counts;
+    for (const auto& [peer, count] : peers) counts.push_back(count);
+    std::sort(counts.rbegin(), counts.rend());
+    int top = 0;
+    for (std::size_t i = 0; i < counts.size() && i < 4; ++i) top += counts[i];
+    return static_cast<double>(top) / total;
+  };
+  EXPECT_GT(top4_share(hot_peers, hot), 0.5);
+  EXPECT_LT(top4_share(calm_peers, calm), 0.1);
+}
+
+}  // namespace
+}  // namespace livesec::scenario
